@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's evaluation: every figure of
+// "Reliability-Aware Runahead" (HPCA 2022), as text tables and optionally
+// CSV. See DESIGN.md §3 for the experiment index.
+//
+// Usage:
+//
+//	experiments              # all figures, 1M instructions per cell
+//	experiments -fig 9       # one figure
+//	experiments -n 4000000 -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rarsim/internal/experiments"
+	"rarsim/internal/sim"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1,3,4,5,7,8,9,10,11, all, or an ablation (ablations, timer, mshr, scaling, seeds)")
+		n      = flag.Uint64("n", 1_000_000, "committed instructions measured per simulation cell")
+		warmup = flag.Uint64("warmup", 0, "instructions committed before measurement (default n/5)")
+		seed   = flag.Uint64("seed", 42, "workload generation seed")
+		csv    = flag.String("csv", "", "directory to also write CSV tables into")
+		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *warmup == 0 {
+		*warmup = *n / 5
+	}
+	cfg := experiments.Config{
+		Opt:    sim.Options{Instructions: *n, Warmup: *warmup, Seed: *seed, Parallelism: *par},
+		Out:    os.Stdout,
+		CSVDir: *csv,
+	}
+	start := time.Now()
+	if err := experiments.ByName(*fig, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,70 @@
+// Command tracegen records synthetic-benchmark instruction streams into
+// trace files that the simulator (and external tools) can replay, and
+// inspects existing traces.
+//
+//	tracegen -bench mcf -n 1000000 -o mcf.trace.gz
+//	tracegen -inspect mcf.trace.gz
+//
+// The trace format is documented in internal/trace/file.go. Replaying a
+// trace reproduces the generating run exactly (see rarsim.RunTraceFile).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rarsim/internal/isa"
+	"rarsim/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark to record")
+		n       = flag.Uint64("n", 1_000_000, "instructions to record")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		out     = flag.String("o", "", "output path (.gz compresses)")
+		inspect = flag.String("inspect", "", "print a summary of an existing trace and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		fs, err := trace.OpenTraceFile(*inspect)
+		check(err)
+		summarize(fs)
+		return
+	}
+	if *bench == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: need -bench and -o (or -inspect)")
+		os.Exit(1)
+	}
+	b, err := trace.ByName(*bench)
+	check(err)
+	gen := trace.New(b, *seed)
+	check(trace.WriteTraceFile(*out, b.Name, gen, *n))
+	fmt.Printf("wrote %d instructions of %s to %s\n", *n, b.Name, *out)
+}
+
+func summarize(fs *trace.FileSource) {
+	var counts [isa.NumClasses]int
+	var in isa.Inst
+	for i := 0; i < fs.Len(); i++ {
+		fs.Next(&in)
+		counts[in.Class]++
+	}
+	fmt.Printf("trace %q: %d instructions\n", fs.Name(), fs.Len())
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %9d (%.1f%%)\n", c, counts[c],
+			100*float64(counts[c])/float64(fs.Len()))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package rarsim_test
+
+import (
+	"fmt"
+
+	"rarsim"
+)
+
+// Example demonstrates the one-call API: simulate a benchmark under a
+// scheme and read the headline metrics.
+func Example() {
+	opt := rarsim.Options{Instructions: 50_000, Warmup: 10_000, Seed: 42}
+	st, err := rarsim.Run(rarsim.BaselineConfig(), rarsim.OoO, "libquantum", opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("committed:", st.Committed)
+	fmt.Println("memory-intensive:", st.MPKI() > 8)
+	// Output:
+	// committed: 50000
+	// memory-intensive: true
+}
+
+// ExampleRunMatrix shows a paper-style normalised comparison: the OoO
+// baseline must be part of the matrix, and every metric of the baseline
+// against itself is exactly 1.
+func ExampleRunMatrix() {
+	b, err := rarsim.BenchmarkByName("gems")
+	if err != nil {
+		panic(err)
+	}
+	rs, err := rarsim.RunMatrix(
+		[]rarsim.CoreConfig{rarsim.BaselineConfig()},
+		[]rarsim.Scheme{rarsim.OoO, rarsim.RAR},
+		[]rarsim.Benchmark{b},
+		rarsim.Options{Instructions: 50_000, Warmup: 10_000, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("baseline vs itself: %.1fx\n", rs.MTTF("baseline", "OoO", "gems"))
+	fmt.Println("RAR beats baseline MTTF:", rs.MTTF("baseline", "RAR", "gems") > 1)
+	// Output:
+	// baseline vs itself: 1.0x
+	// RAR beats baseline MTTF: true
+}
+
+// ExampleSchemeByName resolves the paper's scheme names.
+func ExampleSchemeByName() {
+	s, err := rarsim.SchemeByName("RAR-LATE")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name, s.Early, s.FlushAtExit, s.Lean)
+	// Output:
+	// RAR-LATE false true true
+}

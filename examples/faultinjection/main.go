@@ -1,0 +1,47 @@
+// Faultinjection runs a statistical soft-error injection campaign — the
+// methodology the paper's footnote 1 contrasts with ACE analysis — against
+// the baseline core and against RAR, and shows (a) that the empirical
+// vulnerability agrees with the ACE ledger, and (b) where RAR's protection
+// comes from: strikes that would have corrupted architectural state land
+// on state that the flush-at-exit discards instead.
+//
+//	go run ./examples/faultinjection [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rarsim"
+)
+
+func main() {
+	bench := "libquantum"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	camp := rarsim.InjectionCampaign{
+		Trials:       3000,
+		Instructions: 200_000,
+		Warmup:       60_000,
+		Seed:         42,
+	}
+
+	fmt.Printf("injecting %d random soft errors into %s...\n\n", camp.Trials, bench)
+	fmt.Printf("%-6s %12s %12s %9s %9s %9s\n",
+		"scheme", "inject AVF", "ledger AVF", "corrupt", "squashed", "masked")
+	for _, s := range []rarsim.Scheme{rarsim.OoO, rarsim.FLUSH, rarsim.RAR} {
+		res, err := rarsim.RunInjection(rarsim.BaselineConfig(), s, bench, camp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %7.4f±%.4f %12.4f %9d %9d %9d\n",
+			s.Name, res.EmpiricalAVF(), res.StdErr(), res.LedgerAVF,
+			res.Corrupt, res.Squashed, res.Masked)
+	}
+
+	fmt.Println("\nA 'corrupt' strike hit a bit that later committed (it was ACE).")
+	fmt.Println("Under RAR, the same strikes land on state the runahead-exit flush")
+	fmt.Println("throws away — the corrupt column collapses into squashed/masked.")
+}

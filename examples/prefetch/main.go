@@ -1,0 +1,49 @@
+// Prefetch reproduces the paper's §V-F question: does an aggressive
+// hardware stride prefetcher — at the LLC or across all cache levels —
+// eliminate the misses RAR speculates on, and with them RAR's benefit?
+//
+//	go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rarsim"
+)
+
+func main() {
+	opt := rarsim.Options{Instructions: 200_000, Warmup: 60_000, Seed: 42}
+	bench := "gems" // strided: the prefetcher-friendliest benchmark
+
+	configs := []rarsim.CoreConfig{
+		rarsim.BaselineConfig(),
+		rarsim.BaselineConfig().WithPrefetch(rarsim.PrefetchL3),
+		rarsim.BaselineConfig().WithPrefetch(rarsim.PrefetchAll),
+	}
+
+	base, err := rarsim.Run(configs[0], rarsim.OoO, bench, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s under hardware prefetching (normalised to no-prefetch OoO):\n\n", bench)
+	fmt.Printf("%-14s %-6s %8s %8s %8s %8s\n", "config", "scheme", "IPC", "MPKI", "ABC", "MTTF")
+	for _, cfg := range configs {
+		for _, s := range []rarsim.Scheme{rarsim.OoO, rarsim.PRE, rarsim.RAR} {
+			st, err := rarsim.Run(cfg, s, bench, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mttf := (float64(base.TotalABC) / float64(st.TotalABC)) *
+				(float64(st.Cycles) / float64(base.Cycles))
+			fmt.Printf("%-14s %-6s %8.3f %8.2f %8.3f %7.2fx\n",
+				cfg.Name, s.Name,
+				st.IPC()/base.IPC(), st.MPKI(),
+				float64(st.TotalABC)/float64(base.TotalABC), mttf)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Prefetching removes some of the misses runahead targets, but RAR")
+	fmt.Println("still improves reliability and performance on top of it (§V-F).")
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate one memory-intensive benchmark under the baseline
+// out-of-order core and under Reliability-Aware Runahead, and compare the
+// paper's three headline metrics — performance (IPC), vulnerability (ABC),
+// and mean time to failure (MTTF).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rarsim"
+)
+
+func main() {
+	opt := rarsim.Options{Instructions: 300_000, Warmup: 100_000, Seed: 42}
+	cfg := rarsim.BaselineConfig()
+
+	fmt.Println("simulating mcf on the Table II baseline core...")
+	ooo, err := rarsim.Run(cfg, rarsim.OoO, "mcf", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rar, err := rarsim.Run(cfg, rarsim.RAR, "mcf", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-28s %12s %12s\n", "", "OoO", "RAR")
+	fmt.Printf("%-28s %12.3f %12.3f\n", "IPC", ooo.IPC(), rar.IPC())
+	fmt.Printf("%-28s %12.2f %12.2f\n", "LLC MPKI", ooo.MPKI(), rar.MPKI())
+	fmt.Printf("%-28s %12.1f %12.1f\n", "ACE bit count (Gbit-cycles)",
+		float64(ooo.TotalABC)/1e9, float64(rar.TotalABC)/1e9)
+	fmt.Printf("%-28s %12.4f %12.4f\n", "AVF", ooo.AVF(), rar.AVF())
+	fmt.Printf("%-28s %12d %12d\n", "runahead intervals", ooo.RunaheadEntries, rar.RunaheadEntries)
+
+	// MTTF relative to the baseline (Equations 2-4): the ABC improvement
+	// scaled by the runtime ratio.
+	mttf := (float64(ooo.TotalABC) / float64(rar.TotalABC)) *
+		(float64(rar.Cycles) / float64(ooo.Cycles))
+	fmt.Printf("\nRAR improves MTTF by %.1fx while changing performance by %+.1f%%\n",
+		mttf, 100*(rar.IPC()/ooo.IPC()-1))
+}

@@ -1,0 +1,3 @@
+module rarsim
+
+go 1.22

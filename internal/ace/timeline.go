@@ -1,0 +1,57 @@
+package ace
+
+// Timeline support: the ledger can optionally bucket committed ACE
+// bit-cycles into fixed-width cycle windows, giving the AVF-over-time
+// series used to study vulnerability phase behaviour (cf. Fu et al.,
+// "Characterizing microarchitecture soft error vulnerability phase
+// behavior"). A window's ABC is attributed at resolution time (commit), so
+// a long-lived entry books into the window its commit falls in — adequate
+// for phase plots at window sizes well above the memory latency.
+
+// Window is one timeline bucket.
+type Window struct {
+	// StartCycle is the window's first cycle.
+	StartCycle uint64
+	// ABC is the ACE bit count resolved in this window.
+	ABC uint64
+}
+
+// EnableTimeline turns on windowed accounting with the given window width
+// in cycles. Must be called before simulation starts.
+func (l *Ledger) EnableTimeline(windowCycles uint64) {
+	if windowCycles == 0 {
+		windowCycles = 100_000
+	}
+	l.windowCycles = windowCycles
+}
+
+// SetCycle informs the ledger of the current simulation cycle, for window
+// selection. The core calls this once per cycle (cheap: one store).
+func (l *Ledger) SetCycle(cycle uint64) { l.nowCycle = cycle }
+
+// Timeline returns the windowed ABC series (nil when not enabled).
+func (l *Ledger) Timeline() []Window {
+	out := make([]Window, len(l.windows))
+	for i, abc := range l.windows {
+		out[i] = Window{StartCycle: uint64(i) * l.windowCycles, ABC: abc}
+	}
+	return out
+}
+
+// bookWindow attributes bits*cycles to the current window.
+func (l *Ledger) bookWindow(bitCycles uint64) {
+	if l.windowCycles == 0 {
+		return
+	}
+	idx := int(l.nowCycle / l.windowCycles)
+	for len(l.windows) <= idx {
+		l.windows = append(l.windows, 0)
+	}
+	l.windows[idx] += bitCycles
+}
+
+// WindowAVF converts a timeline window to an AVF given the core's bit
+// count and the window width.
+func WindowAVF(w Window, totalBits, windowCycles uint64) float64 {
+	return AVF(w.ABC, totalBits, windowCycles)
+}

@@ -1,0 +1,49 @@
+package ace
+
+import "testing"
+
+func TestTimelineBuckets(t *testing.T) {
+	l := NewLedger()
+	l.EnableTimeline(100)
+	l.SetCycle(50)
+	l.Add(ROB, 10, 5, 0, 0) // window 0: 50 bit-cycles
+	l.SetCycle(150)
+	l.Add(IQ, 10, 3, 0, 0) // window 1: 30
+	l.SetCycle(350)
+	l.Add(RF, 1, 7, 0, 0) // window 3: 7 (window 2 stays empty)
+
+	w := l.Timeline()
+	if len(w) != 4 {
+		t.Fatalf("windows = %d", len(w))
+	}
+	wants := []uint64{50, 30, 0, 7}
+	for i, want := range wants {
+		if w[i].ABC != want {
+			t.Errorf("window %d ABC = %d, want %d", i, w[i].ABC, want)
+		}
+		if w[i].StartCycle != uint64(i)*100 {
+			t.Errorf("window %d start = %d", i, w[i].StartCycle)
+		}
+	}
+	if got := WindowAVF(w[0], 100, 100); got != 50.0/(100*100) {
+		t.Errorf("window AVF = %v", got)
+	}
+}
+
+func TestTimelineDisabled(t *testing.T) {
+	l := NewLedger()
+	l.Add(ROB, 10, 5, 0, 0)
+	if len(l.Timeline()) != 0 {
+		t.Error("timeline must be empty when not enabled")
+	}
+}
+
+func TestTimelineDefaultWidth(t *testing.T) {
+	l := NewLedger()
+	l.EnableTimeline(0)
+	l.SetCycle(1)
+	l.Add(ROB, 1, 1, 0, 0)
+	if len(l.Timeline()) != 1 {
+		t.Error("default window width not applied")
+	}
+}

@@ -1,0 +1,115 @@
+// Package branch implements the conditional-branch direction predictor and
+// BTB of the simulated core: a TAGE predictor (bimodal base plus tagged
+// tables over geometrically increasing global-history lengths, with folded
+// history registers and usefulness-based allocation), a loop predictor for
+// constant-trip-count loops, and a small statistical-corrector-style bias
+// table — a compact cousin of the 8 KB TAGE-SC-L the paper configures
+// (Table II).
+//
+// The predictor supports speculative history: the core snapshots history
+// state when it predicts a branch and restores the snapshot when a
+// misprediction (or a runahead exit) squashes the path. Table updates
+// happen only at commit, so wrong-path and runahead-speculative branches
+// never pollute the tables.
+package branch
+
+// folded incrementally maintains a hash of the most recent origLen bits of
+// global history, folded down to compLen bits. This is the standard TAGE
+// mechanism: on every history shift the new bit is XORed in and the bit
+// falling off the end of the history is XORed out, so maintaining the hash
+// is O(1) regardless of history length.
+type folded struct {
+	comp     uint32
+	compLen  uint16
+	outPoint uint16
+}
+
+func newFolded(origLen, compLen int) folded {
+	return folded{compLen: uint16(compLen), outPoint: uint16(origLen % compLen)}
+}
+
+// update shifts newBit into the folded hash and oldBit (the history bit
+// aging out of the window) out of it.
+func (f *folded) update(newBit, oldBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outPoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
+}
+
+// ghrBits is the capacity of the global history register. It must be at
+// least the longest tagged-table history length.
+const ghrBits = 256
+
+// history is the global branch history: a ring of the last ghrBits
+// outcomes plus the folded registers of every tagged table. It is the
+// state captured by Snapshot/Restore.
+type history struct {
+	bits [ghrBits / 64]uint64
+	pos  int // index of the next bit to write
+
+	// phist is a short path history mixed into the indices.
+	phist uint64
+
+	idxFold  [nTables]folded
+	tagFold1 [nTables]folded
+	tagFold2 [nTables]folded
+}
+
+// bit returns history bit at distance d (d=1 is the most recent outcome).
+func (h *history) bit(d int) uint32 {
+	p := (h.pos - d + ghrBits) % ghrBits
+	return uint32(h.bits[p/64]>>(p%64)) & 1
+}
+
+// shift pushes one branch outcome into the history and updates every
+// folded register.
+func (h *history) shift(taken bool, pc uint64, hists []int) {
+	var nb uint32
+	if taken {
+		nb = 1
+	}
+	for i := range h.idxFold {
+		old := h.bit(hists[i])
+		h.idxFold[i].update(nb, old)
+		h.tagFold1[i].update(nb, old)
+		h.tagFold2[i].update(nb, old)
+	}
+	w, b := h.pos/64, uint(h.pos%64)
+	h.bits[w] = (h.bits[w] &^ (1 << b)) | (uint64(nb) << b)
+	h.pos = (h.pos + 1) % ghrBits
+	h.phist = ((h.phist << 1) ^ (pc >> 2)) & 0xFFFF
+}
+
+// Snapshot is a copy of the speculative history state at one point in the
+// fetch stream. Restoring it rewinds the predictor to that point. It is a
+// flat value (no heap indirection) so the core can checkpoint one per
+// in-flight branch cheaply.
+type Snapshot struct {
+	bits     [ghrBits / 64]uint64
+	pos      int
+	phist    uint64
+	idxFold  [nTables]folded
+	tagFold1 [nTables]folded
+	tagFold2 [nTables]folded
+}
+
+func (h *history) snapshot() Snapshot {
+	return Snapshot{
+		bits:     h.bits,
+		pos:      h.pos,
+		phist:    h.phist,
+		idxFold:  h.idxFold,
+		tagFold1: h.tagFold1,
+		tagFold2: h.tagFold2,
+	}
+}
+
+func (h *history) restore(s Snapshot) {
+	h.bits = s.bits
+	h.pos = s.pos
+	h.phist = s.phist
+	h.idxFold = s.idxFold
+	h.tagFold1 = s.tagFold1
+	h.tagFold2 = s.tagFold2
+}

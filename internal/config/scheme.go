@@ -1,0 +1,93 @@
+package config
+
+import "fmt"
+
+// Scheme describes one of the evaluated microarchitecture mechanisms: the
+// baseline, Weaver-style Flushing, and the six runahead variants of the
+// design-space exploration (Table IV).
+type Scheme struct {
+	// Name is the paper's name for the scheme.
+	Name string
+
+	// Runahead enables runahead execution.
+	Runahead bool
+
+	// Early triggers runahead (or the flush, for FLUSH) as soon as an
+	// LLC-miss load blocks commit at the ROB head, detected by the
+	// RunaheadTimer countdown. Without Early, runahead waits for a
+	// full-ROB stall.
+	Early bool
+
+	// FlushAtExit flushes the entire back-end when leaving runahead mode
+	// and refetches from the blocking load — RAR's first optimisation.
+	// State accumulated during the runahead interval becomes un-ACE.
+	FlushAtExit bool
+
+	// Lean executes only the backward slices of loads during runahead
+	// (PRE-style, via the SST); non-lean runahead executes every fetched
+	// instruction (traditional runahead).
+	Lean bool
+
+	// FlushAtEntry is the Weaver et al. Flushing mechanism: squash
+	// everything past the blocking load as soon as it is identified as a
+	// long-latency miss, and stall fetch until the data returns. No
+	// runahead.
+	FlushAtEntry bool
+
+	// IssueWindow applies traditional runahead's trigger filter: only
+	// enter runahead if the blocking load was sent to memory less than
+	// TRIssueWindow cycles before the stall.
+	IssueWindow bool
+}
+
+// The evaluated schemes (§V).
+var (
+	// OoO is the unmodified baseline out-of-order core.
+	OoO = Scheme{Name: "OoO"}
+
+	// FLUSH is Weaver et al.'s flushing: flush when a memory access
+	// blocks the ROB head, refill when it returns.
+	FLUSH = Scheme{Name: "FLUSH", FlushAtEntry: true, Early: true}
+
+	// TR is traditional runahead (Mutlu et al.): full-ROB trigger with
+	// the 250-cycle issue window, executes everything, flushes at exit.
+	TR = Scheme{Name: "TR", Runahead: true, FlushAtExit: true, IssueWindow: true}
+
+	// TREarly is TR with the early-start trigger.
+	TREarly = Scheme{Name: "TR-EARLY", Runahead: true, FlushAtExit: true, Early: true}
+
+	// PRE is Precise Runahead Execution: full-ROB trigger, lean slice
+	// execution, no flush at exit (the frozen ROB state is kept).
+	PRE = Scheme{Name: "PRE", Runahead: true, Lean: true}
+
+	// PREEarly is PRE with the early-start trigger.
+	PREEarly = Scheme{Name: "PRE-EARLY", Runahead: true, Lean: true, Early: true}
+
+	// RARLate is Reliability-Aware Runahead without the early start:
+	// full-ROB trigger, lean, flush at exit.
+	RARLate = Scheme{Name: "RAR-LATE", Runahead: true, Lean: true, FlushAtExit: true}
+
+	// RAR is the paper's proposal: early start, lean, flush at exit.
+	RAR = Scheme{Name: "RAR", Runahead: true, Lean: true, FlushAtExit: true, Early: true}
+)
+
+// Schemes returns the five headline configurations of §V in paper order.
+func Schemes() []Scheme {
+	return []Scheme{OoO, FLUSH, PRE, RARLate, RAR}
+}
+
+// RunaheadVariants returns the six-variant design space of Table IV plus
+// FLUSH, as compared in Figure 9.
+func RunaheadVariants() []Scheme {
+	return []Scheme{FLUSH, TR, TREarly, PRE, PREEarly, RARLate, RAR}
+}
+
+// SchemeByName looks a scheme up by its paper name.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range append(Schemes(), RunaheadVariants()...) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("config: unknown scheme %q", name)
+}

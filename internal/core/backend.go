@@ -1,0 +1,527 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rarsim/internal/ace"
+	"rarsim/internal/isa"
+	"rarsim/internal/mem"
+)
+
+// dispatchStage moves up to Width uops from the front-end pipe into the
+// back-end. In normal mode this allocates ROB/IQ/LQ/SQ entries and renames;
+// in runahead mode dispatch is handled by dispatchRunahead (no ROB).
+func (c *Core) dispatchStage() {
+	for n := 0; n < c.cfg.Width && len(c.frontQ) > 0; n++ {
+		u := c.frontQ[0]
+		if u.frontReadyAt > c.cycle {
+			break
+		}
+		var ok bool
+		if c.mode == modeNormal {
+			ok = c.dispatchNormal(u)
+		} else {
+			ok = c.dispatchRunahead(u)
+		}
+		if !ok {
+			break // structural stall: retry next cycle, in order
+		}
+		c.frontQ = c.frontQ[1:]
+	}
+	if len(c.frontQ) == 0 && cap(c.frontQ) > 256 {
+		c.frontQ = nil
+	}
+}
+
+// dispatchNormal allocates back-end resources for u and renames it.
+// Returns false on a structural stall (ROB/IQ/LQ/SQ/registers full).
+func (c *Core) dispatchNormal(u *uop) bool {
+	in := &u.inst
+	if c.robCount == c.cfg.ROB {
+		return false
+	}
+	if !in.IsNop() && len(c.iq) >= c.cfg.IQ {
+		return false
+	}
+	if in.IsLoad() && c.lqCount >= c.cfg.LQ {
+		return false
+	}
+	if in.IsStore() && len(c.sqList) >= c.cfg.SQ {
+		return false
+	}
+	if in.HasDest() && !c.regs.canAlloc(in.Dest.IsFp()) {
+		return false
+	}
+
+	u.src[0] = c.regs.lookup(in.Src1)
+	u.src[1] = c.regs.lookup(in.Src2)
+	if in.HasDest() {
+		u.dest, u.prevDest = c.regs.rename(in.Dest)
+	}
+
+	// Record dependence edges for SST slice extraction (correct path only).
+	if !in.WrongPath {
+		var s1, s2 uint64
+		if in.Src1.Valid() {
+			s1 = c.lastWriter[in.Src1]
+		}
+		if in.Src2.Valid() {
+			s2 = c.lastWriter[in.Src2]
+		}
+		c.prod.record(in.PC, s1, s2)
+		if in.HasDest() {
+			c.lastWriter[in.Dest] = in.PC
+		}
+	}
+
+	u.dispatchedAt = c.cycle
+	u.hbAtDispatch, u.fsAtDispatch = c.ledger.Cum()
+	c.s.TotalDispatched++
+	u.robIdx = c.robTailIdx()
+	c.rob[u.robIdx] = u
+	c.robCount++
+
+	if in.IsNop() {
+		u.state = uopCompleted
+		u.doneAt = c.cycle
+		return true
+	}
+	u.state = uopDispatched
+	if in.IsLoad() {
+		c.lqCount++
+		u.inLQ = true
+	}
+	if in.IsStore() {
+		c.sqList = append(c.sqList, u)
+		u.inSQ = true
+	}
+	c.iq = append(c.iq, u)
+	return true
+}
+
+// poolOf maps an instruction class to its functional-unit pool. Loads,
+// stores and branches use the integer-add pool (address generation /
+// resolution).
+func poolOf(class isa.Class) int {
+	switch class {
+	case isa.IntMult:
+		return fuIntMult
+	case isa.IntDiv:
+		return fuIntDiv
+	case isa.FpAdd:
+		return fuFpAdd
+	case isa.FpMult:
+		return fuFpMult
+	case isa.FpDiv:
+		return fuFpDiv
+	default:
+		return fuIntAdd
+	}
+}
+
+// fuWidth returns the ACE bit width of the unit executing the class.
+func (c *Core) fuWidth(class isa.Class) uint64 {
+	if class.IsFp() {
+		return uint64(c.bits.FpFU)
+	}
+	return uint64(c.bits.IntFU)
+}
+
+func (c *Core) srcsReady(u *uop) bool {
+	for _, p := range u.src {
+		if p >= 0 && !c.regs.ready[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// issueStage selects up to Width ready uops, oldest first, and starts them
+// on functional units; loads and stores additionally access memory.
+func (c *Core) issueStage() {
+	for i := range c.fuIssued {
+		c.fuIssued[i] = 0
+	}
+	issued := 0
+	kept := c.iq[:0]
+	for _, u := range c.iq {
+		if u.state != uopDispatched {
+			continue // dead: drop from the queue
+		}
+		if issued >= c.cfg.Width || u.retryAt > c.cycle ||
+			!c.srcsReady(u) || !c.tryIssue(u) {
+			kept = append(kept, u)
+			continue
+		}
+		issued++
+	}
+	c.iq = kept
+}
+
+// tryIssue attempts to start u this cycle. It returns false when no unit
+// is free or the L1D is out of MSHRs.
+func (c *Core) tryIssue(u *uop) bool {
+	pool := poolOf(u.inst.Class)
+	fu := &c.fuPools[pool]
+	if fu.Pipelined {
+		if c.fuIssued[pool] >= fu.Count {
+			return false
+		}
+	} else if c.fuBusyTill[pool] > c.cycle {
+		return false
+	}
+
+	switch {
+	case u.isLoad():
+		if fwd, ok := c.forwardFromStore(u); ok {
+			u.doneAt = fwd
+		} else {
+			kind := mem.KindLoad
+			switch {
+			case u.inst.WrongPath:
+				kind = mem.KindWrongPath
+			case u.runahead:
+				kind = mem.KindRunahead
+			}
+			res := c.hier.Access(u.inst.Addr, c.cycle+1, kind)
+			if res.MSHRStall {
+				u.retryAt = c.cycle + 4
+				return false
+			}
+			u.doneAt = res.DoneAt
+			u.llcMiss = res.LLCMiss
+			// A load merging with an in-flight fill waits nearly as long
+			// as a fresh miss; the MSHRs report it as an outstanding
+			// long-latency access, so stall-based mechanisms treat it
+			// like one.
+			u.longLat = res.LLCMiss || res.DoneAt > c.cycle+longLatWait
+			u.memIssued = true
+			if u.runahead && res.DoneAt > c.cycle+runaheadLoadCutoff {
+				// Fire-and-forget: a runahead load that misses does its
+				// job the moment the prefetch is in flight. It
+				// pseudo-retires immediately with a poisoned (INV)
+				// destination rather than holding PRDQ/IQ resources for
+				// the full memory latency — this is what lets runahead
+				// run hundreds of instructions ahead.
+				u.doneAt = c.cycle + 1
+				u.inv = true
+			}
+			if res.LLCMiss && kind == mem.KindLoad && u.inst.PC != c.lastTrainedPC {
+				trainSlice(c.sstT, c.prod, u.inst.PC, 4, 16)
+				c.lastTrainedPC = u.inst.PC
+			}
+		}
+	case u.isStore():
+		u.doneAt = c.cycle + 1 // address generation; data written post-commit
+	default:
+		u.doneAt = c.cycle + fu.Latency
+	}
+
+	if fu.Pipelined {
+		c.fuIssued[pool]++
+	} else {
+		c.fuBusyTill[pool] = u.doneAt
+	}
+	u.fuLatency = fu.Latency
+	u.state = uopIssued
+	u.issuedAt = c.cycle
+	u.hbAtIssue, u.fsAtIssue = c.ledger.Cum()
+	u.issueValid = true
+	c.s.TotalIssued++
+	c.execList = append(c.execList, u)
+	if u.runahead {
+		c.s.RunaheadExecuted++
+	}
+	return true
+}
+
+// forwardFromStore checks the store queue for an older in-flight store to
+// the same 8-byte block; a hit forwards in two cycles without touching the
+// cache.
+func (c *Core) forwardFromStore(u *uop) (doneAt uint64, ok bool) {
+	block := u.inst.Addr >> 3
+	for i := len(c.sqList) - 1; i >= 0; i-- {
+		s := c.sqList[i]
+		if s.seq >= u.seq || s.state == uopDead {
+			continue
+		}
+		if s.state == uopDispatched {
+			continue // address not generated yet; no forwarding
+		}
+		if s.inst.Addr>>3 == block {
+			return c.cycle + 2, true
+		}
+	}
+	return 0, false
+}
+
+// completeStage retires finished executions: wakes dependents, resolves
+// branches (including misprediction recovery), and marks uops completed.
+func (c *Core) completeStage() {
+	var done []*uop
+	kept := c.execList[:0]
+	for _, u := range c.execList {
+		if u.state == uopDead {
+			continue
+		}
+		if u.doneAt <= c.cycle {
+			done = append(done, u)
+		} else {
+			kept = append(kept, u)
+		}
+	}
+	c.execList = kept
+	if len(done) == 0 {
+		return
+	}
+	// Resolve oldest-first: an older mispredicted branch squashes younger
+	// completions in the same cycle.
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	for _, u := range done {
+		if u.state == uopDead {
+			continue
+		}
+		c.completeUop(u)
+	}
+}
+
+func (c *Core) completeUop(u *uop) {
+	u.state = uopCompleted
+	u.hbAtDone, u.fsAtDone = c.ledger.Cum()
+	if u.dest >= 0 {
+		c.regs.ready[u.dest] = true
+		c.regs.inv[u.dest] = u.inv
+	}
+	if u.isBranch() && !u.inst.WrongPath && u.predTaken != u.inst.Taken {
+		if u.runahead {
+			c.redirectRunahead(u)
+		} else {
+			c.recoverMispredict(u)
+		}
+	}
+}
+
+// recoverMispredict repairs a normal-mode branch misprediction: squash
+// everything younger, rewind the stream and the predictor history, and
+// redirect fetch. If the core is in runahead mode (the branch pre-dates
+// runahead entry), runahead is aborted first.
+func (c *Core) recoverMispredict(u *uop) {
+	if c.mode == modeRunahead {
+		c.abortRunahead()
+	}
+	c.squashYounger(u.seq)
+	c.clearWrongPath()
+	c.stream.rewind(u.streamIdx + 1)
+	c.bp.Restore(*u.bpSnap, true, u.inst.PC, u.inst.Taken)
+	if u.inst.Taken {
+		c.btb.Insert(u.inst.PC, u.inst.Target)
+	}
+	if c.fetchStallUntil < c.cycle+1 {
+		c.fetchStallUntil = c.cycle + 1
+	}
+}
+
+// squashYounger removes every uop younger than seqB from the ROB and the
+// front-end, rolling back rename state.
+func (c *Core) squashYounger(seqB uint64) {
+	var squashed []*uop
+	for c.robCount > 0 {
+		tail := (c.robHead + c.robCount - 1) % c.cfg.ROB
+		u := c.rob[tail]
+		if u.seq <= seqB {
+			break
+		}
+		if u.dest >= 0 {
+			c.regs.rat[u.inst.Dest] = u.prevDest
+			c.regs.free(u.dest)
+		}
+		if u.inLQ {
+			c.lqCount--
+		}
+		u.state = uopDead
+		c.rob[tail] = nil
+		c.robCount--
+		squashed = append(squashed, u)
+	}
+	c.filterSecondary()
+	c.clearFrontQ()
+	for _, u := range squashed {
+		c.release(u)
+	}
+}
+
+// filterSecondary drops dead uops from the issue queue, execution list and
+// store queue.
+func (c *Core) filterSecondary() {
+	iq := c.iq[:0]
+	for _, u := range c.iq {
+		if u.state != uopDead {
+			iq = append(iq, u)
+		}
+	}
+	c.iq = iq
+	ex := c.execList[:0]
+	for _, u := range c.execList {
+		if u.state != uopDead {
+			ex = append(ex, u)
+		}
+	}
+	c.execList = ex
+	sq := c.sqList[:0]
+	for _, u := range c.sqList {
+		if u.state != uopDead {
+			sq = append(sq, u)
+		}
+	}
+	c.sqList = sq
+}
+
+// commitStage retires up to Width completed instructions from the ROB
+// head, reporting their ACE windows and releasing resources. Commit is
+// architecturally blocked during runahead mode.
+func (c *Core) commitStage() {
+	if c.mode == modeRunahead {
+		return
+	}
+	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
+		if c.commitBarrier > 0 && c.s.Committed >= c.commitBarrier {
+			break
+		}
+		u := c.rob[c.robHead]
+		if u.state != uopCompleted {
+			break
+		}
+		if u.isStore() {
+			if len(c.storeBuf) >= c.cfg.PostCommitStoreBuffer {
+				break
+			}
+			c.storeBuf = append(c.storeBuf, u.inst.Addr)
+		}
+		c.commitUop(u)
+		c.rob[c.robHead] = nil
+		c.robHead = (c.robHead + 1) % c.cfg.ROB
+		c.robCount--
+		c.release(u)
+	}
+}
+
+func (c *Core) commitUop(u *uop) {
+	in := &u.inst
+	if in.WrongPath {
+		panic(fmt.Sprintf("core: committing wrong-path uop seq=%d pc=%#x cycle=%d mode=%d wrongPath=%v",
+			u.seq, in.PC, c.cycle, c.mode, c.wrongPath))
+	}
+	if len(u.inj) > 0 {
+		// The tagged bits reach architectural state: they were ACE.
+		c.resolveInjections(u, InjectCorrupt)
+	}
+	// FNV-1a over (PC, class): the architectural commit-stream fingerprint.
+	h := c.s.CommitHash
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	h = (h ^ in.PC) * 1099511628211
+	h = (h ^ uint64(in.Class)) * 1099511628211
+	c.s.CommitHash = h
+	c.s.Committed++
+	switch {
+	case in.IsLoad():
+		c.s.CommittedLoads++
+	case in.IsStore():
+		c.s.CommittedStores++
+	case in.IsBranch():
+		c.s.CommittedBranches++
+		c.bp.Update(in.PC, in.Taken, u.bpInfo)
+		if in.Taken {
+			c.btb.Insert(in.PC, in.Target)
+		}
+		if u.predTaken != in.Taken {
+			c.s.Mispredicts++
+		}
+	}
+	if u.prevDest >= 0 {
+		c.regs.free(u.prevDest)
+	}
+	if u.inLQ {
+		c.lqCount--
+	}
+	if u.inSQ {
+		for i, s := range c.sqList {
+			if s == u {
+				c.sqList = append(c.sqList[:i], c.sqList[i+1:]...)
+				break
+			}
+		}
+	}
+	c.reportACE(u)
+	c.stream.release(u.streamIdx + 1)
+}
+
+// reportACE resolves the committed instruction's vulnerability windows
+// into the ledger (Figure 2 semantics). NOPs are un-ACE; wrong-path
+// instructions never reach here.
+func (c *Core) reportACE(u *uop) {
+	if u.inst.IsNop() {
+		return
+	}
+	now := c.cycle
+	hbNow, fsNow := c.ledger.Cum()
+
+	// ROB entry: dispatch → commit.
+	c.ledger.Add(ace.ROB, uint64(c.bits.ROBEntry),
+		now-u.dispatchedAt, hbNow-u.hbAtDispatch, fsNow-u.fsAtDispatch)
+
+	if !u.issueValid {
+		return
+	}
+	// Issue-queue entry: dispatch → issue.
+	c.ledger.Add(ace.IQ, uint64(c.bits.IQEntry),
+		u.issuedAt-u.dispatchedAt, u.hbAtIssue-u.hbAtDispatch, u.fsAtIssue-u.fsAtDispatch)
+
+	// Load/store queue: execute → commit.
+	if u.isLoad() {
+		c.ledger.Add(ace.LQ, uint64(c.bits.LQEntry),
+			now-u.issuedAt, hbNow-u.hbAtIssue, fsNow-u.fsAtIssue)
+	}
+	if u.isStore() {
+		c.ledger.Add(ace.SQ, uint64(c.bits.SQEntry),
+			now-u.issuedAt, hbNow-u.hbAtIssue, fsNow-u.fsAtIssue)
+	}
+
+	// Functional unit: bit width × execution cycles.
+	hbFU := minU64(u.fuLatency, u.hbAtDone-u.hbAtIssue)
+	fsFU := minU64(u.fuLatency, u.fsAtDone-u.fsAtIssue)
+	c.ledger.Add(ace.FU, c.fuWidth(u.inst.Class), u.fuLatency, hbFU, fsFU)
+
+	// Physical register: writeback → commit of the producer.
+	if u.dest >= 0 {
+		bits := uint64(c.bits.IntReg)
+		if c.regs.isFp(u.dest) {
+			bits = uint64(c.bits.FpReg)
+		}
+		c.ledger.Add(ace.RF, bits, now-u.doneAt, hbNow-u.hbAtDone, fsNow-u.fsAtDone)
+	}
+}
+
+// drainStores writes one committed store per cycle into the L1D.
+func (c *Core) drainStores() {
+	if len(c.storeBuf) == 0 {
+		return
+	}
+	res := c.hier.Access(c.storeBuf[0], c.cycle, mem.KindStore)
+	if res.MSHRStall {
+		return
+	}
+	c.storeBuf = c.storeBuf[1:]
+	if len(c.storeBuf) == 0 && cap(c.storeBuf) > 64 {
+		c.storeBuf = nil
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+
+	"rarsim/internal/ace"
+	"rarsim/internal/branch"
+	"rarsim/internal/config"
+	"rarsim/internal/isa"
+	"rarsim/internal/mem"
+	"rarsim/internal/trace"
+)
+
+// mode is the core's execution mode.
+type mode uint8
+
+const (
+	modeNormal mode = iota
+	modeRunahead
+)
+
+// fuPool indices.
+const (
+	fuIntAdd = iota
+	fuIntMult
+	fuIntDiv
+	fuFpAdd
+	fuFpMult
+	fuFpDiv
+	numFuPools
+)
+
+// Core is one simulated out-of-order processor running one workload under
+// one scheme. Create with New, run with Run. A Core is single-use.
+type Core struct {
+	cfg    config.Core
+	scheme config.Scheme
+	bits   ace.Bits
+
+	gen    trace.Source
+	stream *streamBuf
+	bp     *branch.Predictor
+	btb    *branch.BTB
+	hier   *mem.Hierarchy
+	ledger *ace.Ledger
+	regs   *regFile
+	pool   uopPool
+
+	cycle uint64
+	seq   uint64
+
+	// Front-end.
+	frontQ          []*uop
+	fetchStallUntil uint64
+	wrongPath       bool
+	wpPC            uint64
+	// wpSynthetic counts synthesised wrong-path instructions still to
+	// fetch: >0 for a bounded hammock body, -1 for a non-reconvergent
+	// path, 0 while off-path means fetch reconverged onto the stream.
+	wpSynthetic int
+
+	// Back-end.
+	rob      []*uop
+	robHead  int
+	robCount int
+	iq       []*uop
+	lqCount  int
+	sqList   []*uop // in-flight stores, age order, for forwarding
+	execList []*uop
+
+	fuPools    [numFuPools]config.FUPool
+	fuIssued   [numFuPools]int    // pipelined pools: ops issued this cycle
+	fuBusyTill [numFuPools]uint64 // unpipelined pools: next free cycle
+
+	storeBuf []uint64 // post-commit store addresses awaiting L1D write
+
+	// ROB-head blocking tracking.
+	headSeq   uint64
+	headSince uint64
+
+	// Runahead machinery.
+	mode       mode
+	blocking   *uop // the load that triggered runahead
+	prdq       []*uop
+	sstT       *sst
+	prod       *producers
+	lastWriter [isa.NumRegs]uint64
+	raDiverged bool
+	chk        checkpoint
+
+	// SST training dedup: last PC trained, to avoid rewalking hot loads.
+	lastTrainedPC uint64
+
+	// lastFlushSeq prevents the FLUSH scheme from re-flushing for the
+	// same blocking load every cycle.
+	lastFlushSeq uint64
+
+	// commitBarrier caps commits so the run stops exactly at the warmup
+	// boundary and at the requested instruction count (commit is up to
+	// Width wide per cycle).
+	commitBarrier uint64
+
+	// Fault-injection campaign state (inject.go).
+	injSamples []InjectSample
+	injNext    int
+
+	// auditEvery enables the invariant checker (audit.go) every N cycles.
+	auditEvery uint64
+
+	// draining disables fetch while the pipeline empties between
+	// detailed samples (sample.go).
+	draining bool
+
+	// ffInstructions counts instructions skipped functionally.
+	ffInstructions uint64
+
+	s Stats
+}
+
+// checkpoint is the state saved at runahead (or flush) entry.
+type checkpoint struct {
+	rat          [isa.NumRegs]int16
+	bpSnap       branch.Snapshot
+	resumeCursor uint64 // fetch cursor to restore on a PRE-style exit
+	wrongPath    bool
+	wpPC         uint64
+	wpSynthetic  int
+}
+
+// Stats is the result of one simulation run.
+type Stats struct {
+	Benchmark string
+	Scheme    string
+	CoreName  string
+
+	Cycles    uint64
+	Committed uint64
+
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+	Mispredicts       uint64
+	WrongPathFetched  uint64
+
+	RunaheadEntries  uint64
+	RunaheadCycles   uint64
+	RunaheadExecuted uint64 // uops executed in runahead mode
+	RunaheadDropped  uint64 // uops filtered or INV-dropped in runahead
+	Flushes          uint64 // FLUSH-scheme pipeline flushes
+
+	// Activity counters for energy accounting: everything that consumed
+	// pipeline bandwidth, including wrong-path, runahead and re-fetched
+	// work that never (or repeatedly) committed.
+	TotalFetched    uint64
+	TotalDispatched uint64
+	TotalIssued     uint64
+
+	HeadBlockedCycles uint64
+	FullStallCycles   uint64
+
+	// CommitHash is an FNV-1a hash over the committed instruction
+	// sequence (PC and class, in commit order) for the whole run,
+	// including warmup. Every scheme must commit the identical dynamic
+	// stream — speculation of any kind never changes architectural
+	// execution — so the hash must agree across schemes for the same
+	// (benchmark, seed, instruction count).
+	CommitHash uint64
+
+	ABC            [ace.NumStructures]uint64
+	TotalABC       uint64
+	HeadBlockedABC uint64
+	FullStallABC   uint64
+	TotalBits      uint64
+
+	Mem mem.Stats
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MPKI returns demand-load LLC misses per thousand committed instructions.
+func (s Stats) MPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mem.DemandLLCMisses) / float64(s.Committed)
+}
+
+// AVF returns the run's architectural vulnerability factor (Equation 2).
+func (s Stats) AVF() float64 {
+	return ace.AVF(s.TotalABC, s.TotalBits, s.Cycles)
+}
+
+// MispredictRate returns mispredictions per committed branch.
+func (s Stats) MispredictRate() float64 {
+	if s.CommittedBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CommittedBranches)
+}
+
+// New builds a core for the given configuration, scheme and synthetic
+// workload.
+func New(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, seed uint64) *Core {
+	return NewFromSource(cfg, scheme, bench.Name, trace.New(bench, seed))
+}
+
+// NewFromSource builds a core running an arbitrary instruction source —
+// a recorded trace file, or any other Source implementation.
+func NewFromSource(cfg config.Core, scheme config.Scheme, name string, gen trace.Source) *Core {
+	return NewWithHierarchy(cfg, scheme, name, gen, mem.NewHierarchy(cfg.Mem))
+}
+
+// NewWithHierarchy builds a core on an existing memory hierarchy — the
+// multicore driver passes per-core hierarchies that share an LLC and DRAM
+// (mem.NewHierarchyWithShared).
+func NewWithHierarchy(cfg config.Core, scheme config.Scheme, name string, gen trace.Source, h *mem.Hierarchy) *Core {
+	c := &Core{
+		cfg:    cfg,
+		scheme: scheme,
+		bits:   ace.DefaultBits(),
+		gen:    gen,
+		stream: newStreamBuf(gen),
+		bp:     branch.NewPredictor(),
+		btb:    branch.NewBTB(12),
+		hier:   h,
+		ledger: ace.NewLedger(),
+		regs:   newRegFile(cfg.IntRegs, cfg.FpRegs),
+		rob:    make([]*uop, cfg.ROB),
+		sstT:   newSST(cfg.SST),
+		prod:   newProducers(12),
+	}
+	c.fuPools[fuIntAdd] = cfg.IntAdd
+	c.fuPools[fuIntMult] = cfg.IntMult
+	c.fuPools[fuIntDiv] = cfg.IntDiv
+	c.fuPools[fuFpAdd] = cfg.FpAdd
+	c.fuPools[fuFpMult] = cfg.FpMult
+	c.fuPools[fuFpDiv] = cfg.FpDiv
+
+	c.s.Benchmark = name
+	c.s.Scheme = scheme.Name
+	c.s.CoreName = cfg.Name
+	c.s.TotalBits = ace.TotalBits(c.bits, ace.Sizes{
+		ROB: cfg.ROB, IQ: cfg.IQ, LQ: cfg.LQ, SQ: cfg.SQ,
+		IntRegs: cfg.IntRegs, FpRegs: cfg.FpRegs,
+		IntFUs: cfg.IntFUCount(), FpFUs: cfg.FpFUCount(),
+	})
+	return c
+}
+
+// watchdogWindow is the commit-progress deadline: if no instruction commits
+// for this many cycles, the simulation reports a deadlock.
+const watchdogWindow = 500_000
+
+// Run simulates until instructions have committed and returns the run's
+// statistics. It returns an error if the pipeline deadlocks (a model bug,
+// not an expected outcome).
+func (c *Core) Run(instructions uint64) (Stats, error) {
+	return c.RunWarm(0, instructions)
+}
+
+// RunWarm simulates warmup+measured further committed instructions and
+// returns statistics covering only the measured portion — the equivalent
+// of the paper's warmed-up SimPoint measurement. Caches, predictors and
+// the SST stay trained across the boundary; only the counters reset.
+// Targets are relative to instructions already committed, so RunWarm can
+// be called repeatedly (see RunSampled).
+func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
+	base := c.s.Committed
+	warmTarget := base + warmup
+	total := base + warmup + measured
+	c.commitBarrier = total
+	if warmup > 0 {
+		c.commitBarrier = warmTarget
+	}
+	var warm Stats
+	warmTaken := false
+	if warmup == 0 {
+		c.finalizeStats()
+		warm = c.s
+		warmTaken = true
+	}
+	lastCommit := base
+	lastCommitCycle := c.cycle
+	for c.s.Committed < total {
+		c.cycle++
+		c.ledger.SetCycle(c.cycle)
+		if c.injNext < len(c.injSamples) {
+			c.processInjections()
+		}
+		c.tickBlocked()
+		c.completeStage()
+		c.commitStage()
+		c.modeStage()
+		c.issueStage()
+		c.dispatchStage()
+		c.fetchStage()
+		c.drainStores()
+
+		if c.auditEvery > 0 && c.cycle%c.auditEvery == 0 {
+			c.audit()
+		}
+		if !warmTaken && c.s.Committed >= warmTarget {
+			c.finalizeStats()
+			warm = c.s
+			warmTaken = true
+			c.commitBarrier = total
+		}
+		if c.s.Committed != lastCommit {
+			lastCommit = c.s.Committed
+			lastCommitCycle = c.cycle
+		} else if c.cycle-lastCommitCycle > watchdogWindow {
+			return c.s, fmt.Errorf(
+				"core: deadlock: no commit for %d cycles at cycle %d (bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d)",
+				watchdogWindow, c.cycle, c.s.Benchmark, c.s.Scheme,
+				c.robCount, len(c.iq), len(c.frontQ), c.mode)
+		}
+	}
+	c.finalizeStats()
+	return c.s.sub(warm), nil
+}
+
+// Step advances the core by exactly one cycle. Run/RunWarm drive it
+// internally; multicore systems interleave Step calls across cores so
+// shared-LLC and DRAM contention resolves in lockstep.
+func (c *Core) Step() {
+	c.cycle++
+	c.ledger.SetCycle(c.cycle)
+	if c.injNext < len(c.injSamples) {
+		c.processInjections()
+	}
+	if c.auditEvery > 0 && c.cycle%c.auditEvery == 0 {
+		c.audit()
+	}
+	c.tickBlocked()
+	c.completeStage()
+	c.commitStage()
+	c.modeStage()
+	c.issueStage()
+	c.dispatchStage()
+	if !c.draining {
+		c.fetchStage()
+	}
+	c.drainStores()
+}
+
+// Committed returns the number of instructions committed so far.
+func (c *Core) Committed() uint64 { return c.s.Committed }
+
+// Snapshot finalises and returns the current statistics without ending
+// the simulation.
+func (c *Core) Snapshot() Stats {
+	c.finalizeStats()
+	return c.s
+}
+
+// SetCommitLimit caps further commits at n total committed instructions
+// (0 = unlimited). Multicore drivers use it to stop finished cores.
+func (c *Core) SetCommitLimit(n uint64) { c.commitBarrier = n }
+
+// sub returns the counter-wise difference s-w, for warmup exclusion.
+// CommitHash is whole-run and is deliberately not subtracted.
+func (s Stats) sub(w Stats) Stats {
+	out := s
+	out.Cycles -= w.Cycles
+	out.Committed -= w.Committed
+	out.CommittedLoads -= w.CommittedLoads
+	out.CommittedStores -= w.CommittedStores
+	out.CommittedBranches -= w.CommittedBranches
+	out.Mispredicts -= w.Mispredicts
+	out.WrongPathFetched -= w.WrongPathFetched
+	out.RunaheadEntries -= w.RunaheadEntries
+	out.RunaheadCycles -= w.RunaheadCycles
+	out.RunaheadExecuted -= w.RunaheadExecuted
+	out.RunaheadDropped -= w.RunaheadDropped
+	out.Flushes -= w.Flushes
+	out.TotalFetched -= w.TotalFetched
+	out.TotalDispatched -= w.TotalDispatched
+	out.TotalIssued -= w.TotalIssued
+	out.HeadBlockedCycles -= w.HeadBlockedCycles
+	out.FullStallCycles -= w.FullStallCycles
+	for i := range out.ABC {
+		out.ABC[i] -= w.ABC[i]
+	}
+	out.TotalABC -= w.TotalABC
+	out.HeadBlockedABC -= w.HeadBlockedABC
+	out.FullStallABC -= w.FullStallABC
+	out.Mem.DemandLoads -= w.Mem.DemandLoads
+	out.Mem.DemandLLCMisses -= w.Mem.DemandLLCMisses
+	out.Mem.LLCMissCycles -= w.Mem.LLCMissCycles
+	out.Mem.LLCBusyCycles -= w.Mem.LLCBusyCycles
+	out.Mem.DRAMReads -= w.Mem.DRAMReads
+	out.Mem.DRAMWrites -= w.Mem.DRAMWrites
+	out.Mem.PrefetchIssued -= w.Mem.PrefetchIssued
+	out.Mem.MSHRFullStalls -= w.Mem.MSHRFullStalls
+	return out
+}
+
+// tickBlocked advances the Figure 5 attribution counters and the ROB-head
+// countdown timer state.
+func (c *Core) tickBlocked() {
+	head := c.robHeadUop()
+	headBlocked := head != nil && head.isLoad() && head.state == uopIssued && head.longLat
+	fullStall := headBlocked && c.robCount == c.cfg.ROB
+	c.ledger.TickBlocked(headBlocked, fullStall)
+	if headBlocked {
+		c.s.HeadBlockedCycles++
+	}
+	if fullStall {
+		c.s.FullStallCycles++
+	}
+	if c.mode == modeRunahead {
+		c.s.RunaheadCycles++
+	}
+
+	if head == nil {
+		c.headSeq, c.headSince = 0, c.cycle
+		return
+	}
+	if head.seq != c.headSeq {
+		c.headSeq = head.seq
+		c.headSince = c.cycle
+	}
+}
+
+func (c *Core) robHeadUop() *uop {
+	if c.robCount == 0 {
+		return nil
+	}
+	return c.rob[c.robHead]
+}
+
+func (c *Core) robTailIdx() int {
+	return (c.robHead + c.robCount) % c.cfg.ROB
+}
+
+func (c *Core) finalizeStats() {
+	c.s.Cycles = c.cycle
+	c.s.ABC = c.ledger.ABC()
+	c.s.TotalABC = c.ledger.TotalABC()
+	c.s.HeadBlockedABC = c.ledger.HeadBlockedABC()
+	c.s.FullStallABC = c.ledger.FullStallABC()
+	c.s.Mem = c.hier.Snapshot()
+}
+
+// CycleCount returns the total cycles simulated so far (including any
+// warmup portion excluded from Stats).
+func (c *Core) CycleCount() uint64 { return c.cycle }
+
+// EnableTimeline turns on windowed ACE accounting: the ledger buckets
+// committed ACE bit-cycles into windowCycles-wide windows, for AVF
+// phase-behaviour analysis. Call before Run; read with Timeline.
+func (c *Core) EnableTimeline(windowCycles uint64) {
+	c.ledger.EnableTimeline(windowCycles)
+}
+
+// Timeline returns the windowed ABC series (nil unless EnableTimeline was
+// called).
+func (c *Core) Timeline() []ace.Window { return c.ledger.Timeline() }
+
+// Hierarchy exposes the memory system (tests and tools).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Predictor exposes the branch predictor (tests and tools).
+func (c *Core) Predictor() *branch.Predictor { return c.bp }

@@ -1,0 +1,189 @@
+package core
+
+import "rarsim/internal/isa"
+
+// hammockSpan is the longest forward branch (in bytes) treated as a
+// hammock whose wrong path reconverges with the correct path. Mispredicted
+// hammocks fetch the other side of the diamond and then rejoin the real
+// instruction stream — which is why wrong-path execution (and runahead
+// past a mispredicted branch) still prefetches usefully on real machines.
+// Backward branches (loop back-edges) and long jumps do not reconverge
+// quickly; their wrong paths are synthesised.
+const hammockSpan = 16 * isa.InstBytes
+
+// fetchStage models the front-end: up to Width instructions per cycle from
+// the correct-path stream (or the wrong path after a misprediction),
+// branch prediction with speculative history, BTB re-steers, and the L1I.
+// Fetched uops traverse the FrontEndDepth-stage pipe before becoming
+// eligible for dispatch.
+func (c *Core) fetchStage() {
+	if c.cycle < c.fetchStallUntil {
+		return
+	}
+	// The front-end pipe has finite capacity: when dispatch stalls, fetch
+	// backs up rather than running arbitrarily far ahead.
+	if len(c.frontQ) >= c.cfg.Width*(c.cfg.FrontEndDepth+2) {
+		return
+	}
+	offPath := c.offPath()
+
+	// Model the L1I for on-path fetch. Synthetic kernels are tiny, so
+	// this virtually always hits after warmup; a miss stalls fetch until
+	// the line arrives.
+	if !offPath {
+		pc := c.stream.peek().PC
+		if avail := c.hier.FetchAccess(pc, c.cycle); avail > c.cycle+c.cfg.Mem.L1ILat {
+			c.fetchStallUntil = avail
+			return
+		}
+	}
+
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.offPath() {
+			c.fetchWrongPath()
+			continue
+		}
+
+		in, idx := c.stream.next()
+		u := c.newUop()
+		u.inst = in
+		u.streamIdx = idx
+		u.frontReadyAt = c.cycle + uint64(c.cfg.FrontEndDepth)
+		c.s.TotalFetched++
+
+		if !in.IsBranch() {
+			c.frontQ = append(c.frontQ, u)
+			continue
+		}
+
+		// Predict the branch; checkpoint history first so a squash can
+		// rewind to exactly this point.
+		snap := c.bp.Snapshot()
+		pred, info := c.bp.Predict(in.PC)
+		u.predTaken, u.bpInfo, u.bpSnap = pred, info, &snap
+		c.frontQ = append(c.frontQ, u)
+
+		if pred != in.Taken {
+			c.startWrongPath(&in, pred)
+			break // redirect ends the fetch group
+		}
+		if pred {
+			// Correctly predicted taken: a BTB miss costs a decode-time
+			// re-steer bubble; either way the taken branch ends the group.
+			if _, hit := c.btb.Lookup(in.PC); !hit {
+				c.fetchStallUntil = c.cycle + 2
+			}
+			break
+		}
+	}
+}
+
+// offPath reports whether fetch is currently down a mispredicted path.
+func (c *Core) offPath() bool {
+	return c.wrongPath || (c.mode == modeRunahead && c.raDiverged)
+}
+
+// startWrongPath steers fetch onto the predicted — wrong — path of the
+// branch and decides how that path evolves:
+//
+//   - Forward hammock, predicted taken (actual not-taken): the wrong path
+//     starts at the target, which the real stream reaches after the
+//     hammock body — skip ahead in the stream and keep fetching real
+//     future instructions, marked wrong-path.
+//   - Forward hammock, predicted not-taken (actual taken): the wrong path
+//     is the skipped hammock body — synthesise those few instructions,
+//     then reconverge onto the stream.
+//   - Anything else (back-edges, long jumps): the wrong path does not
+//     reconverge; synthesise indefinitely until the branch resolves.
+func (c *Core) startWrongPath(in *isa.Inst, predTaken bool) {
+	if c.mode == modeRunahead {
+		c.raDiverged = true
+	} else {
+		c.wrongPath = true
+	}
+
+	forward := in.Target > in.PC && in.Target-in.PC <= hammockSpan
+	switch {
+	case predTaken && forward:
+		// Skip stream entries up to the reconvergence point (the
+		// branch target). They are re-fetched after recovery rewinds.
+		start := c.stream.cursor()
+		found := false
+		for k := 0; k < hammockSpan/isa.InstBytes+1; k++ {
+			if c.stream.peek().PC == in.Target {
+				found = true
+				break
+			}
+			c.stream.next()
+		}
+		if found {
+			c.wpSynthetic = 0
+			return
+		}
+		c.stream.rewind(start)
+		c.wpSynthetic = -1
+		c.wpPC = in.Target
+	case !predTaken && forward:
+		// Fetch the hammock body the stream skipped, then reconverge.
+		c.wpSynthetic = int((in.Target - in.FallThrough()) / isa.InstBytes)
+		c.wpPC = in.FallThrough()
+	default:
+		c.wpSynthetic = -1
+		c.wpPC = in.Target
+		if !predTaken {
+			c.wpPC = in.FallThrough()
+		}
+	}
+}
+
+// fetchWrongPath fetches one instruction while off-path: a synthesised
+// instruction while the divergent stretch lasts, then — for reconvergent
+// hammocks — real future instructions marked wrong-path, whose loads
+// prefetch exactly like on a real machine.
+func (c *Core) fetchWrongPath() {
+	u := c.newUop()
+	u.frontReadyAt = c.cycle + uint64(c.cfg.FrontEndDepth)
+	if c.wpSynthetic != 0 {
+		c.gen.WrongPath(&u.inst, c.wpPC)
+		c.wpPC += isa.InstBytes
+		if c.wpSynthetic > 0 {
+			c.wpSynthetic--
+		}
+	} else {
+		in, idx := c.stream.next()
+		in.WrongPath = true
+		u.inst = in
+		u.streamIdx = idx
+	}
+	c.frontQ = append(c.frontQ, u)
+	c.s.WrongPathFetched++
+	c.s.TotalFetched++
+}
+
+// clearWrongPath resets all off-path fetch state (recovery, flush,
+// runahead exit).
+func (c *Core) clearWrongPath() {
+	c.wrongPath = false
+	c.wpSynthetic = 0
+}
+
+// newUop takes a fresh uop from the pool with operand fields initialised
+// to "absent".
+func (c *Core) newUop() *uop {
+	u := c.pool.get()
+	c.seq++
+	u.seq = c.seq
+	u.src = [2]int16{-1, -1}
+	u.dest, u.prevDest = -1, -1
+	u.robIdx = -1
+	return u
+}
+
+// clearFrontQ squashes every instruction still in the front-end pipe.
+func (c *Core) clearFrontQ() {
+	for _, u := range c.frontQ {
+		u.state = uopDead
+		c.release(u)
+	}
+	c.frontQ = c.frontQ[:0]
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"rarsim/internal/isa"
+	"rarsim/internal/trace"
+)
+
+// streamBuf buffers the correct-path dynamic instruction stream between the
+// workload generator and the front-end, with rewind support.
+//
+// The front-end reads instructions at a cursor; squash recovery (branch
+// misprediction repair, runahead exit, Flushing) rewinds the cursor to an
+// earlier index so the same dynamic instructions are re-fetched — exactly
+// the re-fetch that real hardware performs. Commit releases entries that
+// can never be re-fetched again.
+type streamBuf struct {
+	gen  trace.Source
+	buf  []isa.Inst
+	base uint64 // global index of buf[0]
+	cur  uint64 // global index of the next instruction to fetch
+}
+
+func newStreamBuf(gen trace.Source) *streamBuf {
+	return &streamBuf{gen: gen}
+}
+
+// next returns the instruction at the cursor along with its global index,
+// and advances the cursor.
+func (s *streamBuf) next() (isa.Inst, uint64) {
+	idx := s.cur
+	in := *s.at(idx)
+	s.cur++
+	return in, idx
+}
+
+// peek returns the instruction at the cursor without advancing.
+func (s *streamBuf) peek() *isa.Inst { return s.at(s.cur) }
+
+// at returns the instruction at global index idx, generating as needed.
+// idx must be >= the release watermark.
+func (s *streamBuf) at(idx uint64) *isa.Inst {
+	if idx < s.base {
+		panic("core: stream rewind past released instructions")
+	}
+	for idx >= s.base+uint64(len(s.buf)) {
+		var in isa.Inst
+		s.gen.Next(&in)
+		s.buf = append(s.buf, in)
+	}
+	return &s.buf[idx-s.base]
+}
+
+// cursor returns the current fetch position.
+func (s *streamBuf) cursor() uint64 { return s.cur }
+
+// rewind moves the fetch position back to global index idx.
+func (s *streamBuf) rewind(idx uint64) {
+	if idx < s.base {
+		panic("core: stream rewind past released instructions")
+	}
+	if idx > s.cur {
+		panic("core: stream rewind forward")
+	}
+	s.cur = idx
+}
+
+// release discards instructions with global index < idx; they have
+// committed and can never be re-fetched.
+func (s *streamBuf) release(idx uint64) {
+	if idx <= s.base {
+		return
+	}
+	drop := idx - s.base
+	if drop > uint64(len(s.buf)) {
+		drop = uint64(len(s.buf))
+	}
+	// Compact occasionally rather than on every commit.
+	if drop >= 1024 {
+		n := copy(s.buf, s.buf[drop:])
+		s.buf = s.buf[:n]
+		s.base += drop
+	}
+}

@@ -1,0 +1,106 @@
+// Package core implements the simulated out-of-order processor: a
+// cycle-level structural model of the paper's baseline core (Table II) —
+// fetch through commit, with wrong-path execution, a TAGE front-end, and a
+// full memory hierarchy behind the load/store unit — plus every evaluated
+// mechanism: Weaver-style Flushing, traditional runahead (TR), Precise
+// Runahead Execution (PRE), and the paper's Reliability-Aware Runahead
+// (RAR) with its flush-at-exit and early-start optimisations.
+//
+// ACE-bit accounting (package ace) is woven through the pipeline: every
+// structure entry tentatively accumulates a vulnerability window per the
+// paper's Figure 2 and the window is reported to the ledger only if the
+// instruction commits. Squashes of any kind — wrong-path repair, runahead
+// exit flush, Flushing — discard the windows, making that state un-ACE.
+package core
+
+import (
+	"rarsim/internal/branch"
+	"rarsim/internal/isa"
+)
+
+// uopState tracks a micro-op's progress through the back-end.
+type uopState uint8
+
+const (
+	uopDispatched uopState = iota // in IQ (or waiting), not yet issued
+	uopIssued                     // executing on an FU / memory access in flight
+	uopCompleted                  // result produced, awaiting commit
+	uopDead                       // squashed; awaiting lazy removal
+)
+
+// uop is one in-flight micro-op. The same record flows through normal and
+// runahead mode; runahead uops simply have no ROB entry.
+type uop struct {
+	inst isa.Inst
+	seq  uint64 // global age
+
+	state    uopState
+	runahead bool // dispatched during runahead mode
+	inv      bool // poisoned: depends on the blocking load's unavailable value
+
+	// Register renaming.
+	src      [2]int16 // physical sources (-1 = none/ready immediate)
+	dest     int16    // physical destination (-1 = none)
+	prevDest int16    // previous mapping of the architectural dest, for rollback
+
+	// Position bookkeeping.
+	streamIdx uint64 // index into the correct-path stream (for rewind)
+	robIdx    int    // slot in the ROB ring; -1 for runahead uops
+	inLQ      bool
+	inSQ      bool
+
+	// Timing.
+	frontReadyAt uint64 // cycle the uop clears the front-end pipe
+	dispatchedAt uint64
+	issuedAt     uint64
+	doneAt       uint64
+	retryAt      uint64 // earliest re-issue attempt after an MSHR stall
+	fuLatency    uint64
+
+	// Memory.
+	llcMiss   bool // the access missed the LLC
+	longLat   bool // LLC miss or a long wait on an in-flight fill
+	memIssued bool
+
+	// Branch prediction state.
+	predTaken bool
+	bpInfo    branch.Info
+	bpSnap    *branch.Snapshot // history snapshot taken before prediction
+
+	// ACE attribution snapshots (cumulative blocked-cycle counters at
+	// window-start events; see ace.Ledger).
+	hbAtDispatch, fsAtDispatch uint64
+	hbAtIssue, fsAtIssue       uint64
+	hbAtDone, fsAtDone         uint64
+	issueValid                 bool
+
+	// inj holds indices of fault-injection samples tagged onto this uop
+	// (see inject.go); resolved at commit or squash.
+	inj []int32
+}
+
+func (u *uop) isLoad() bool   { return u.inst.IsLoad() }
+func (u *uop) isStore() bool  { return u.inst.IsStore() }
+func (u *uop) isBranch() bool { return u.inst.IsBranch() }
+
+// uopPool recycles uop records to keep allocation off the hot path.
+type uopPool struct {
+	free []*uop
+}
+
+func (p *uopPool) get() *uop {
+	if n := len(p.free); n > 0 {
+		u := p.free[n-1]
+		p.free = p.free[:n-1]
+		*u = uop{}
+		return u
+	}
+	return &uop{}
+}
+
+func (p *uopPool) put(u *uop) {
+	if len(p.free) < 4096 {
+		u.bpSnap = nil
+		p.free = append(p.free, u)
+	}
+}

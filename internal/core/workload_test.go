@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"rarsim/internal/config"
+)
+
+// Workload-characteristic tests: the paper's analysis leans on specific
+// behaviours of specific benchmarks (§II-C). These tests pin those
+// behaviours on the baseline core so a workload-suite change cannot
+// silently invalidate the experiments built on them.
+
+func ratioABC(st Stats, part uint64) float64 {
+	if st.TotalABC == 0 {
+		return 0
+	}
+	return float64(part) / float64(st.TotalABC)
+}
+
+// TestMcfHeadBlockedNotFull: mcf's misses block the ROB head while branch
+// mispredictions in the shadow keep the ROB from filling with correct-path
+// state — the case only the early-start trigger covers, and the reason mcf
+// is RAR's biggest MTTF winner.
+func TestMcfHeadBlockedNotFull(t *testing.T) {
+	st := run(t, config.OoO, "mcf")
+	hb := ratioABC(st, st.HeadBlockedABC)
+	fs := ratioABC(st, st.FullStallABC)
+	if hb < 0.6 {
+		t.Errorf("mcf head-blocked ABC share %.2f, want >0.6", hb)
+	}
+	if fs > 0.3*hb {
+		t.Errorf("mcf full-stall share %.2f should be far below head-blocked %.2f", fs, hb)
+	}
+}
+
+// TestFotonikFullStalls: fotonik is the classic full-ROB staller; most of
+// its head-blocked exposure happens with the ROB completely full.
+func TestFotonikFullStalls(t *testing.T) {
+	st := run(t, config.OoO, "fotonik")
+	hb := ratioABC(st, st.HeadBlockedABC)
+	fs := ratioABC(st, st.FullStallABC)
+	if fs < 0.5*hb {
+		t.Errorf("fotonik full-stall share %.2f should approach head-blocked %.2f", fs, hb)
+	}
+}
+
+// TestLbmIssueQueuePressure: lbm's FP dependence chains keep the ROB from
+// filling as readily as the streaming benchmarks.
+func TestLbmNotAFullStaller(t *testing.T) {
+	lbm := run(t, config.OoO, "lbm")
+	fot := run(t, config.OoO, "fotonik")
+	if ratioABC(lbm, lbm.FullStallABC) >= ratioABC(fot, fot.FullStallABC) {
+		t.Errorf("lbm full-stall share %.2f must trail fotonik's %.2f",
+			ratioABC(lbm, lbm.FullStallABC), ratioABC(fot, fot.FullStallABC))
+	}
+}
+
+// TestROBDominatesABC: the paper's Figure 3 finding — the reorder buffer
+// is responsible for the bulk of the vulnerable state, followed by
+// IQ/LQ/RF.
+func TestROBDominatesABC(t *testing.T) {
+	for _, bn := range []string{"libquantum", "lbm", "gems"} {
+		st := run(t, config.OoO, bn)
+		rob := st.ABC[0]
+		for i, v := range st.ABC {
+			if i != 0 && v >= rob {
+				t.Errorf("%s: structure %d ABC %d >= ROB %d", bn, i, v, rob)
+			}
+		}
+		if float64(rob) < 0.4*float64(st.TotalABC) {
+			t.Errorf("%s: ROB share %.2f, want the bulk", bn,
+				float64(rob)/float64(st.TotalABC))
+		}
+	}
+}
+
+// TestMemoryVsComputeABC: memory-intensive workloads expose significantly
+// more vulnerable state than compute-intensive ones (Figure 3).
+func TestMemoryVsComputeABC(t *testing.T) {
+	mem := run(t, config.OoO, "gems")
+	cmp := run(t, config.OoO, "x264")
+	if float64(mem.TotalABC) < 1.5*float64(cmp.TotalABC) {
+		t.Errorf("memory-intensive ABC %d should dominate compute-intensive %d",
+			mem.TotalABC, cmp.TotalABC)
+	}
+}
+
+// TestChaseSerialisation: pointer-chase benchmarks cannot overlap their
+// own misses; streaming benchmarks can.
+func TestChaseSerialisation(t *testing.T) {
+	chase := run(t, config.OoO, "astar")
+	stream := run(t, config.OoO, "gems")
+	if chase.Mem.MLP() >= stream.Mem.MLP() {
+		t.Errorf("chase MLP %.2f must trail streaming MLP %.2f",
+			chase.Mem.MLP(), stream.Mem.MLP())
+	}
+	if chase.Mem.MLP() > 2.5 {
+		t.Errorf("chase MLP %.2f implausibly high for dependent misses", chase.Mem.MLP())
+	}
+}
+
+// TestRunaheadCannotChase: runahead prefetching barely helps dependent
+// pointer chases whose hops miss (mcf: the next address needs the missing
+// data), while it clearly helps streams — the structural reason RAR's IPC
+// profile differs across the suite. Chases through cache-resident hops
+// (astar) are exempt: runahead follows them through the hits.
+func TestRunaheadCannotChase(t *testing.T) {
+	chaseBase := run(t, config.OoO, "mcf")
+	chasePre := run(t, config.PRE, "mcf")
+	streamBase := run(t, config.OoO, "gems")
+	streamPre := run(t, config.PRE, "gems")
+	chaseGain := chasePre.IPC() / chaseBase.IPC()
+	streamGain := streamPre.IPC() / streamBase.IPC()
+	if streamGain < chaseGain {
+		t.Errorf("stream PRE gain %.3f must exceed chase gain %.3f", streamGain, chaseGain)
+	}
+	if streamGain < 1.05 {
+		t.Errorf("stream PRE gain %.3f too small", streamGain)
+	}
+}

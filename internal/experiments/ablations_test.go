@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAbsoluteMTTFHours(t *testing.T) {
+	// AVF 0.5 on 1000 bits with 1 FIT/bit raw rate: FIT = 500 failures
+	// per 1e9 hours => MTTF = 2e6 hours.
+	got := AbsoluteMTTFHours(0.5, 1000, 1)
+	if math.Abs(got-2e6) > 1e-6 {
+		t.Errorf("MTTF = %v, want 2e6", got)
+	}
+	if AbsoluteMTTFHours(0, 1000, 1) != 0 {
+		t.Error("zero AVF must yield 0 (no derated failures)")
+	}
+}

@@ -1,0 +1,101 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"rarsim/internal/config"
+	"rarsim/internal/core"
+	"rarsim/internal/trace"
+)
+
+func campaign(t *testing.T, scheme config.Scheme, benchName string, trials int) Result {
+	t.Helper()
+	b, err := trace.ByName(benchName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(config.Baseline(), scheme, b, Campaign{
+		Trials: trials, Instructions: 60_000, Warmup: 20_000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignResolvesAllSamples(t *testing.T) {
+	res := campaign(t, config.OoO, "libquantum", 400)
+	if got := res.Corrupt + res.Squashed + res.Masked + res.Pending; got != 400 {
+		t.Fatalf("outcome counts sum to %d", got)
+	}
+	// Pending should be a thin sliver: only state in flight at the very
+	// end of the run.
+	if res.Pending > 20 {
+		t.Errorf("too many unresolved strikes: %d", res.Pending)
+	}
+	if res.Corrupt == 0 {
+		t.Error("a memory-bound run must have ACE strikes")
+	}
+	if res.Masked == 0 {
+		t.Error("some strikes must land in empty or protected slots")
+	}
+}
+
+// TestInjectionValidatesACE is the footnote-1 experiment: the empirical
+// injection AVF must agree with the ACE-analysis ledger within sampling
+// error. This exercises a completely independent code path through the
+// machinery (per-slot occupancy versus per-window accounting).
+func TestInjectionValidatesACE(t *testing.T) {
+	res := campaign(t, config.OoO, "libquantum", 1200)
+	emp := res.EmpiricalAVF()
+	diff := math.Abs(emp - res.LedgerAVF)
+	tol := 4*res.StdErr() + 0.03
+	if diff > tol {
+		t.Errorf("injection AVF %.4f vs ledger AVF %.4f: |diff| %.4f > tol %.4f",
+			emp, res.LedgerAVF, diff, tol)
+	}
+}
+
+// TestInjectionSeesRARProtection: under RAR, strikes during memory shadows
+// land on state that is later flushed — the squashed share must rise
+// dramatically and the corrupt share must collapse.
+func TestInjectionSeesRARProtection(t *testing.T) {
+	ooo := campaign(t, config.OoO, "libquantum", 800)
+	rar := campaign(t, config.RAR, "libquantum", 800)
+	if rar.EmpiricalAVF() >= ooo.EmpiricalAVF()/2 {
+		t.Errorf("RAR empirical AVF %.4f must be far below OoO %.4f",
+			rar.EmpiricalAVF(), ooo.EmpiricalAVF())
+	}
+	if rar.Squashed <= ooo.Squashed {
+		t.Errorf("RAR must squash more struck state: %d vs %d",
+			rar.Squashed, ooo.Squashed)
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	a := campaign(t, config.OoO, "gems", 300)
+	b := campaign(t, config.OoO, "gems", 300)
+	if a.Corrupt != b.Corrupt || a.Squashed != b.Squashed || a.Masked != b.Masked {
+		t.Errorf("campaigns diverge: %+v vs %+v",
+			[3]int{a.Corrupt, a.Squashed, a.Masked},
+			[3]int{b.Corrupt, b.Squashed, b.Masked})
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	// Compile-time exhaustiveness nudge plus rendering check.
+	names := map[string]bool{}
+	for o := 0; o < 4; o++ {
+		names[coreOutcomeName(o)] = true
+	}
+	for _, want := range []string{"pending", "masked", "squashed", "corrupt"} {
+		if !names[want] {
+			t.Errorf("missing outcome name %q", want)
+		}
+	}
+}
+
+func coreOutcomeName(o int) string {
+	return core.InjectOutcome(o).String()
+}

@@ -1,0 +1,104 @@
+// Package isa defines the micro-operation vocabulary of the simulated
+// machine: instruction classes, architectural register names, and the
+// dynamic-instruction record that flows through the pipeline.
+//
+// The simulated ISA is a generic RISC-like load/store architecture with 32
+// integer and 32 floating-point architectural registers. Workload generators
+// (package trace) emit streams of dynamic Inst records; the out-of-order core
+// (package core) renames, executes and commits them. The ISA is deliberately
+// minimal: it carries exactly the information the microarchitecture — and the
+// ACE-bit reliability analysis on top of it — needs, and nothing more.
+package isa
+
+import "fmt"
+
+// Class enumerates the instruction classes recognised by the pipeline.
+// The classes match the functional-unit mix of the paper's baseline core
+// (Table II): integer add/multiply/divide, floating-point add/multiply/
+// divide, loads, stores, branches, and NOPs.
+type Class uint8
+
+// Instruction classes.
+const (
+	// Nop performs no work. NOPs are un-ACE by definition (§IV-A).
+	Nop Class = iota
+	// IntAlu is a single-cycle integer operation (add, sub, logic, shift).
+	IntAlu
+	// IntMult is a pipelined integer multiply.
+	IntMult
+	// IntDiv is an unpipelined integer divide.
+	IntDiv
+	// FpAdd is a pipelined floating-point add/sub/convert.
+	FpAdd
+	// FpMult is a pipelined floating-point multiply.
+	FpMult
+	// FpDiv is a floating-point divide.
+	FpDiv
+	// Load reads memory into a register.
+	Load
+	// Store writes a register to memory.
+	Store
+	// Branch is a conditional or unconditional control transfer.
+	Branch
+
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"nop", "ialu", "imul", "idiv", "fadd", "fmul", "fdiv", "load", "store", "branch",
+}
+
+// String returns the mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsFp reports whether the class executes on the floating-point cluster.
+func (c Class) IsFp() bool { return c == FpAdd || c == FpMult || c == FpDiv }
+
+// Reg names an architectural register. Registers 0..31 are the integer
+// file, registers 32..63 the floating-point file. NoReg marks an absent
+// operand.
+type Reg uint8
+
+// Register-space layout.
+const (
+	// NumIntRegs is the number of integer architectural registers.
+	NumIntRegs = 32
+	// NumFpRegs is the number of floating-point architectural registers.
+	NumFpRegs = 32
+	// NumRegs is the total architectural register count.
+	NumRegs = NumIntRegs + NumFpRegs
+	// FirstFpReg is the lowest floating-point register name.
+	FirstFpReg Reg = NumIntRegs
+	// NoReg marks an absent source or destination operand.
+	NoReg Reg = 255
+)
+
+// IsInt reports whether r names an integer architectural register.
+func (r Reg) IsInt() bool { return r < FirstFpReg }
+
+// IsFp reports whether r names a floating-point architectural register.
+func (r Reg) IsFp() bool { return r >= FirstFpReg && r < NumRegs }
+
+// Valid reports whether r names a register at all.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns "rN" for integer registers and "fN" for FP registers.
+func (r Reg) String() string {
+	switch {
+	case r.IsInt():
+		return fmt.Sprintf("r%d", uint8(r))
+	case r.IsFp():
+		return fmt.Sprintf("f%d", uint8(r-FirstFpReg))
+	default:
+		return "r?"
+	}
+}

@@ -1,0 +1,92 @@
+package mem
+
+// MSHRs model the miss-status holding registers of a cache level: a small
+// file of outstanding line misses. A second miss to an in-flight line
+// merges with the existing entry; a miss that needs a new entry when the
+// file is full must be retried later by the requester (the core replays
+// the load).
+type MSHRs struct {
+	entries []mshrEntry
+	size    int
+
+	allocs uint64
+	merges uint64
+	full   uint64
+	peak   int
+}
+
+type mshrEntry struct {
+	line   uint64
+	fillAt uint64
+	valid  bool
+}
+
+// NewMSHRs builds a file with the given number of registers.
+func NewMSHRs(size int) *MSHRs {
+	return &MSHRs{entries: make([]mshrEntry, size), size: size}
+}
+
+// reap retires entries whose fill has completed by cycle now.
+func (m *MSHRs) reap(now uint64) {
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].fillAt <= now {
+			m.entries[i].valid = false
+		}
+	}
+}
+
+// Lookup reports whether the line holding addr is already outstanding and,
+// if so, when its fill completes.
+func (m *MSHRs) Lookup(addr, now uint64) (fillAt uint64, merged bool) {
+	m.reap(now)
+	line := LineAddr(addr)
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].line == line {
+			m.merges++
+			return m.entries[i].fillAt, true
+		}
+	}
+	return 0, false
+}
+
+// Allocate reserves a register for the line holding addr, filling at cycle
+// fillAt. It reports false when the file is full (the access must retry).
+func (m *MSHRs) Allocate(addr, now, fillAt uint64) bool {
+	m.reap(now)
+	line := LineAddr(addr)
+	for i := range m.entries {
+		if !m.entries[i].valid {
+			m.entries[i] = mshrEntry{line: line, fillAt: fillAt, valid: true}
+			m.allocs++
+			if n := m.Outstanding(now); n > m.peak {
+				m.peak = n
+			}
+			return true
+		}
+	}
+	m.full++
+	return false
+}
+
+// Outstanding returns the number of in-flight misses at cycle now.
+func (m *MSHRs) Outstanding(now uint64) int {
+	n := 0
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].fillAt > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the register count.
+func (m *MSHRs) Size() int { return m.size }
+
+// FullStalls returns how many allocations failed because the file was full.
+func (m *MSHRs) FullStalls() uint64 { return m.full }
+
+// Merges returns how many misses merged with an in-flight entry.
+func (m *MSHRs) Merges() uint64 { return m.merges }
+
+// Peak returns the peak simultaneous occupancy observed.
+func (m *MSHRs) Peak() int { return m.peak }

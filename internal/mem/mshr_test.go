@@ -1,0 +1,65 @@
+package mem
+
+import "testing"
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHRs(4)
+	if !m.Allocate(0x1000, 10, 300) {
+		t.Fatal("allocation into empty file failed")
+	}
+	fill, merged := m.Lookup(0x1010, 20) // same line
+	if !merged || fill != 300 {
+		t.Errorf("merge = %d,%v", fill, merged)
+	}
+	if _, merged := m.Lookup(0x2000, 20); merged {
+		t.Error("different line must not merge")
+	}
+	if m.Merges() != 1 {
+		t.Errorf("merges = %d", m.Merges())
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHRs(2)
+	if !m.Allocate(0x1000, 0, 100) || !m.Allocate(0x2000, 0, 100) {
+		t.Fatal("allocations failed")
+	}
+	if m.Allocate(0x3000, 10, 100) {
+		t.Error("third allocation must fail in a 2-entry file")
+	}
+	if m.FullStalls() != 1 {
+		t.Errorf("full stalls = %d", m.FullStalls())
+	}
+	if m.Outstanding(10) != 2 {
+		t.Errorf("outstanding = %d", m.Outstanding(10))
+	}
+}
+
+func TestMSHRReap(t *testing.T) {
+	m := NewMSHRs(2)
+	m.Allocate(0x1000, 0, 50)
+	m.Allocate(0x2000, 0, 60)
+	// After the fills complete, the registers free up.
+	if !m.Allocate(0x3000, 100, 300) {
+		t.Error("completed fills must be reaped")
+	}
+	if _, merged := m.Lookup(0x1000, 100); merged {
+		t.Error("completed fill must not merge")
+	}
+	if m.Outstanding(100) != 1 {
+		t.Errorf("outstanding after reap = %d", m.Outstanding(100))
+	}
+}
+
+func TestMSHRPeak(t *testing.T) {
+	m := NewMSHRs(8)
+	for i := 0; i < 5; i++ {
+		m.Allocate(uint64(i)<<12, 0, 1000)
+	}
+	if m.Peak() != 5 {
+		t.Errorf("peak = %d", m.Peak())
+	}
+	if m.Size() != 8 {
+		t.Errorf("size = %d", m.Size())
+	}
+}

@@ -1,0 +1,84 @@
+// Package metrics aggregates per-benchmark results into suite-level
+// numbers following the paper's methodology (§V, citing John 2006):
+// harmonic mean for IPC ratios, geometric mean for MTTF, and arithmetic
+// mean for ABC and MLP.
+package metrics
+
+import "math"
+
+// ArithMean returns the arithmetic mean of xs (0 for an empty slice).
+func ArithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// HarmMean returns the harmonic mean of xs. Non-positive values are
+// rejected by returning 0, as the harmonic mean is undefined for them.
+func HarmMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive values are
+// rejected by returning 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Max returns the largest value in xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the smallest value in xs (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

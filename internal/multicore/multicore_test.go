@@ -1,0 +1,120 @@
+package multicore
+
+import (
+	"testing"
+
+	"rarsim/internal/config"
+	"rarsim/internal/core"
+	"rarsim/internal/trace"
+)
+
+func loads(t *testing.T, scheme config.Scheme, names ...string) []Workload {
+	t.Helper()
+	var out []Workload
+	for _, n := range names {
+		b, err := trace.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Workload{Bench: b, Scheme: scheme})
+	}
+	return out
+}
+
+func runChip(t *testing.T, scheme config.Scheme, n uint64) []core.Stats {
+	t.Helper()
+	sys, err := New(config.Baseline(), loads(t, scheme, "libquantum", "gems", "fotonik", "milc"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestChipRuns(t *testing.T) {
+	stats := runChip(t, config.OoO, 20_000)
+	if len(stats) != 4 {
+		t.Fatalf("cores = %d", len(stats))
+	}
+	for i, st := range stats {
+		if st.Committed != 20_000 {
+			t.Errorf("core %d committed %d", i, st.Committed)
+		}
+		if st.IPC() <= 0 {
+			t.Errorf("core %d IPC %v", i, st.IPC())
+		}
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	// A core co-running with three memory-intensive neighbours must be
+	// slower than running alone on the same configuration: the shared
+	// LLC and DRAM are genuinely contended.
+	solo, err := New(config.Baseline(), loads(t, config.OoO, "libquantum"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloStats, err := solo.Run(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := runChip(t, config.OoO, 20_000)
+	if shared[0].IPC() >= soloStats[0].IPC() {
+		t.Errorf("co-running IPC %v must trail solo IPC %v",
+			shared[0].IPC(), soloStats[0].IPC())
+	}
+}
+
+func TestChipRARImprovesMTTF(t *testing.T) {
+	base := runChip(t, config.OoO, 20_000)
+	rar := runChip(t, config.RAR, 20_000)
+	mttf := ChipMTTFRel(base, rar)
+	if mttf <= 2 {
+		t.Errorf("all-RAR chip MTTF = %vx, want a large factor", mttf)
+	}
+	thr := ChipThroughputRel(base, rar)
+	if thr < 0.8 {
+		t.Errorf("all-RAR chip throughput = %v, too low", thr)
+	}
+	if ChipMTTFRel(base, base) != 1 {
+		t.Error("baseline vs itself must be 1.0")
+	}
+}
+
+func TestHeterogeneousChip(t *testing.T) {
+	// Mixed schemes: two RAR cores next to two OoO cores. The chip's
+	// reliability must land between all-OoO and all-RAR.
+	b1, _ := trace.ByName("libquantum")
+	b2, _ := trace.ByName("gems")
+	b3, _ := trace.ByName("fotonik")
+	b4, _ := trace.ByName("milc")
+	sys, err := New(config.Baseline(), []Workload{
+		{Bench: b1, Scheme: config.RAR},
+		{Bench: b2, Scheme: config.OoO},
+		{Bench: b3, Scheme: config.RAR},
+		{Bench: b4, Scheme: config.OoO},
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := sys.Run(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runChip(t, config.OoO, 20_000)
+	rar := runChip(t, config.RAR, 20_000)
+	mMixed := ChipMTTFRel(base, mixed)
+	mRAR := ChipMTTFRel(base, rar)
+	if !(1 < mMixed && mMixed < mRAR) {
+		t.Errorf("mixed chip MTTF %v must sit between 1 and all-RAR %v", mMixed, mRAR)
+	}
+}
+
+func TestEmptySystem(t *testing.T) {
+	if _, err := New(config.Baseline(), nil, 1); err == nil {
+		t.Error("empty workload list must error")
+	}
+}

@@ -1,0 +1,579 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"rarsim/internal/isa"
+)
+
+// The synthetic benchmark suite. Each entry models the benchmark the paper
+// names, reproducing the characteristics its analysis depends on (DESIGN.md
+// §1): MPKI band (>8 for the memory-intensive set on the baseline core),
+// memory pattern (pointer chase / streaming / strided), branch behaviour
+// (including data-dependent branches in the shadow of LLC misses), and
+// dependence structure (issue-queue pressure from FP chains). Working sets
+// are sized against the baseline 1 MiB LLC; suite_test.go asserts the
+// measured MPKI split and band on the baseline core.
+
+const (
+	mib = 1 << 20
+	kib = 1 << 10
+)
+
+// benchmarks is the suite registry, populated in init below.
+var benchmarks []Benchmark
+
+// All returns the full suite, memory-intensive first, each group sorted by
+// name (the paper sorts its figures alphabetically).
+func All() []Benchmark {
+	out := append([]Benchmark(nil), benchmarks...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].MemoryIntensive != out[j].MemoryIntensive {
+			return out[i].MemoryIntensive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// MemoryIntensive returns the memory-intensive benchmarks (MPKI > 8 on the
+// baseline core), sorted by name.
+func MemoryIntensive() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.MemoryIntensive {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ComputeIntensive returns the compute-intensive benchmarks, sorted by name.
+func ComputeIntensive() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if !b.MemoryIntensive {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName looks a benchmark up by name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Names returns the names of all benchmarks in All() order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// --- body-building helpers ---
+
+func ld(stream, dep int) Op  { return Op{Class: isa.Load, Stream: stream, Dep1: dep} }
+func fld(stream, dep int) Op { return Op{Class: isa.Load, Stream: stream, Dep1: dep, Fp: true} }
+func st(stream, dep int) Op  { return Op{Class: isa.Store, Stream: stream, Dep1: dep} }
+func alu(d1, d2 int) Op      { return Op{Class: isa.IntAlu, Dep1: d1, Dep2: d2} }
+func imul(d1, d2 int) Op     { return Op{Class: isa.IntMult, Dep1: d1, Dep2: d2} }
+func fadd(d1, d2 int) Op     { return Op{Class: isa.FpAdd, Dep1: d1, Dep2: d2} }
+func fmul(d1, d2 int) Op     { return Op{Class: isa.FpMult, Dep1: d1, Dep2: d2} }
+func fdiv(d1, d2 int) Op     { return Op{Class: isa.FpDiv, Dep1: d1, Dep2: d2} }
+
+// brDep is a branch that register-depends on the most recent load: it
+// cannot resolve while that load's LLC miss is outstanding, so a
+// misprediction stalls in the shadow of the miss (§II-C).
+func brDep(p float64, skip int) Op {
+	return Op{Class: isa.Branch, TakenProb: p, DepLoad: true, SkipLen: skip}
+}
+
+// br is a data-independent branch with the given taken probability.
+func br(p float64, skip int) Op {
+	return Op{Class: isa.Branch, TakenProb: p, SkipLen: skip}
+}
+
+// intPhase and fpPhase are cache-resident compute kernels mixed into the
+// memory-intensive benchmarks. Real SPEC workloads alternate between
+// memory-bound and compute-bound phases (the reason SimPoints exist);
+// these phases contribute the ACE bit count that no miss-window mechanism
+// can remove — the residual vulnerability the paper's RAR leaves behind.
+func intPhase(iters int) Kernel {
+	return Kernel{
+		Name: "compute", Iterations: iters, Weight: 1,
+		Streams: []StreamSpec{{Pattern: Seq, Region: 16 * kib, Stride: 8}},
+		Body: []Op{
+			ld(0, 0),
+			alu(1, 0),
+			imul(1, 0), // serial multiply chain: high ROB/IQ occupancy
+			imul(1, 0),
+			br(0.05, 1),
+			alu(1, 0),
+			imul(1, 2),
+			alu(1, 0),
+		},
+	}
+}
+
+func fpPhase(iters int) Kernel {
+	return Kernel{
+		Name: "compute", Iterations: iters, Weight: 1,
+		Streams: []StreamSpec{{Pattern: Seq, Region: 16 * kib, Stride: 8}},
+		Body: []Op{
+			fld(0, 0),
+			fmul(1, 0), // serial FP chain: high ROB/IQ occupancy
+			fadd(1, 0),
+			fdiv(1, 0),
+			fmul(1, 0),
+			fadd(1, 0),
+			alu(0, 0),
+			alu(1, 0),
+		},
+	}
+}
+
+func init() {
+	benchmarks = []Benchmark{
+		// ------------- memory-intensive (MPKI > 8) -------------
+		{
+			// mcf: dominant pointer chasing over a huge working set with
+			// data-dependent branches in the shadow of the misses. The
+			// ROB rarely fills with correct-path state (§II-C) — the
+			// biggest MTTF winner for RAR in the paper (35.8x).
+			Name: "mcf", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "arcwalk", Weight: 2, Iterations: 64, Streams: []StreamSpec{
+					{Pattern: Chase, Region: 8 * mib},
+					{Pattern: Chase, Region: 8 * mib},
+					{Pattern: Rand, Region: 512 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),       // chase A: always misses
+					alu(1, 0),      // consumes the loaded pointer
+					brDep(0.12, 2), // data-dep branch in the miss shadow
+					alu(1, 0),
+					alu(1, 3),
+					ld(2, 0), // node payload, mostly cache-resident
+					alu(1, 0),
+					alu(1, 2),
+					ld(1, 0), // chase B: independent chain (MLP 2)
+					alu(1, 0),
+					brDep(0.10, 1),
+					alu(2, 0),
+					st(2, 2),
+					alu(1, 0),
+				},
+			}, intPhase(174)},
+		},
+		{
+			// lbm: streaming FP with long dependence chains; stalls on a
+			// full issue queue much of the time (§II-C), so the ROB often
+			// does not fill under a miss.
+			Name: "lbm", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "stream", Weight: 2, Iterations: 128, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 48 * mib, Stride: 8},
+					{Pattern: Seq, Region: 48 * mib, Stride: 8},
+					{Pattern: Seq, Region: 48 * mib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fld(1, 0),
+					fadd(2, 0), // chain A on load 0
+					fmul(1, 0),
+					fadd(1, 0),
+					fadd(4, 0), // chain B on load 1
+					fmul(1, 0),
+					fadd(1, 0),
+					alu(0, 0),
+					st(2, 2),
+					alu(0, 0),
+				},
+			}, fpPhase(279)},
+		},
+		{
+			// libquantum: pure streaming over a large array, small loop
+			// body, near-perfectly predictable branches, high MLP. The
+			// paper's biggest FLUSH performance loser (-21.9%).
+			Name: "libquantum", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "gates", Weight: 2, Iterations: 256, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 48 * mib, Stride: 8},
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					br(0.03, 1),
+					alu(1, 0),
+					alu(1, 2),
+					st(1, 2),
+					alu(1, 0),
+				},
+			}, intPhase(371)},
+		},
+		{
+			// milc: streaming FP over lattice fields with multiply/add
+			// chains.
+			Name: "milc", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "su3", Weight: 2, Iterations: 96, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 32 * mib, Stride: 8},
+					{Pattern: Seq, Region: 32 * mib, Stride: 8},
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fld(1, 0),
+					fmul(2, 0),
+					fadd(2, 0),
+					alu(0, 0),
+					fmul(3, 0),
+					fadd(1, 0),
+					alu(1, 0),
+					st(2, 2),
+					alu(1, 0),
+				},
+			}, fpPhase(193)},
+		},
+		{
+			// gems (GemsFDTD): strided FP stencil updates over a large
+			// grid — prefetcher-friendly (Figure 11).
+			Name: "gems", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "fdtd", Weight: 2, Iterations: 80, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 24 * mib, Stride: 8},
+					{Pattern: Seq, Region: 24 * mib, Stride: 8},
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fadd(1, 0),
+					fld(1, 0),
+					fmul(1, 3),
+					fadd(1, 0),
+					alu(0, 0),
+					alu(1, 0),
+					st(2, 2),
+					alu(1, 0),
+					alu(1, 2),
+				},
+			}, fpPhase(159)},
+		},
+		{
+			// fotonik (fotonik3d): dense streaming with many independent
+			// loads and light compute — the classic full-ROB staller
+			// (>74% of ACE during full-ROB stalls per Fig. 5) and the
+			// biggest RAR IPC winner (2.6x).
+			Name: "fotonik", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "sweep", Weight: 2, Iterations: 192, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 40 * mib, Stride: 8},
+					{Pattern: Seq, Region: 40 * mib, Stride: 4},
+					{Pattern: Seq, Region: 40 * mib, Stride: 4},
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fadd(1, 0),
+					alu(0, 0),
+					fld(1, 0),
+					fadd(1, 0),
+					alu(0, 0),
+					fld(2, 0),
+					fadd(1, 0),
+					alu(0, 0),
+					st(3, 2),
+					alu(1, 0),
+					alu(1, 0),
+				},
+			}, fpPhase(453)},
+		},
+		{
+			// soplex: simplex pivoting — streaming sweeps mixed with
+			// pointer-y indirection and some data-dependent branches.
+			Name: "soplex", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "pivot", Weight: 2, Iterations: 64, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 16 * mib, Stride: 8},
+					{Pattern: Chase, Region: 384 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					fld(0, 0),
+					fmul(1, 0),
+					alu(2, 0),
+					ld(1, 0), // chase through the basis
+					alu(1, 0),
+					brDep(0.10, 2),
+					fadd(1, 0),
+					alu(1, 0),
+					alu(1, 2),
+					st(0, 1),
+					alu(1, 0),
+				},
+			}, intPhase(151)},
+		},
+		{
+			// astar: pathfinding pointer chases with data-dependent
+			// control flow.
+			Name: "astar", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "expand", Weight: 2, Iterations: 48, Streams: []StreamSpec{
+					{Pattern: Chase, Region: 1 * mib},
+					{Pattern: Rand, Region: 384 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					brDep(0.15, 2),
+					alu(1, 0),
+					alu(1, 3),
+					ld(1, 0),
+					alu(1, 2),
+					brDep(0.10, 1),
+					alu(1, 0),
+					alu(2, 0),
+					st(1, 1),
+					alu(1, 0),
+				},
+			}, intPhase(113)},
+		},
+		{
+			// gcc: scattered accesses and many hard-to-predict branches,
+			// frequently in the shadow of misses (§II-C).
+			Name: "gcc", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "dataflow", Weight: 2, Iterations: 40, Streams: []StreamSpec{
+					{Pattern: Rand, Region: 3 * mib},
+					{Pattern: Rand, Region: 384 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					brDep(0.15, 2),
+					alu(1, 0),
+					alu(1, 3),
+					ld(1, 0),
+					alu(1, 0),
+					br(0.12, 1),
+					alu(2, 0),
+					alu(1, 2),
+					st(1, 1),
+					alu(1, 0),
+				},
+			}, intPhase(94)},
+		},
+		{
+			// leslie3d: strided FP streams through a 3-D grid —
+			// prefetcher-friendly (Figure 11).
+			Name: "leslie3d", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "grid", Weight: 2, Iterations: 96, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 24 * mib, Stride: 8},
+					{Pattern: Seq, Region: 24 * mib, Stride: 8},
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fmul(1, 0),
+					fld(1, 0),
+					fadd(1, 3),
+					fmul(1, 0),
+					alu(0, 0),
+					fadd(1, 0),
+					alu(1, 0),
+					st(2, 2),
+					alu(1, 0),
+					alu(1, 2),
+				},
+			}, fpPhase(210)},
+		},
+		{
+			// roms: streaming FP with long arithmetic chains — misses
+			// block the ROB head but the ROB rarely fills, which is why
+			// RAR's early start costs it performance vs RAR-LATE (§V-C).
+			Name: "roms", MemoryIntensive: true,
+			Kernels: []Kernel{{
+				Name: "ocean", Weight: 2, Iterations: 112, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 24 * mib, Stride: 8},
+					{Pattern: Seq, Region: 24 * mib, Stride: 8},
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fadd(1, 0),
+					fmul(1, 0),
+					fdiv(1, 0),
+					fadd(1, 0),
+					fld(1, 0),
+					fmul(1, 0),
+					fadd(1, 0),
+					st(2, 2),
+					alu(0, 0),
+				},
+			}, fpPhase(224)},
+		},
+
+		// ------------- compute-intensive (MPKI < 8) -------------
+		{
+			// perlbench: branchy integer code over a small working set.
+			Name: "perlbench", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "interp", Iterations: 48, Streams: []StreamSpec{
+					{Pattern: Rand, Region: 128 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					br(0.15, 2),
+					alu(1, 0),
+					alu(1, 2),
+					imul(1, 0),
+					alu(1, 0),
+					br(0.10, 1),
+					alu(1, 0),
+					st(0, 1),
+				},
+			}},
+		},
+		{
+			// x264: strided media kernels, cache-resident.
+			Name: "x264", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "satd", Iterations: 64, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					alu(1, 2),
+					imul(1, 0),
+					alu(1, 0),
+					alu(2, 1),
+					st(0, 1),
+					alu(0, 0),
+				},
+			}},
+		},
+		{
+			// deepsjeng: search with hard branches, small tables.
+			Name: "deepsjeng", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "search", Iterations: 40, Streams: []StreamSpec{
+					{Pattern: Rand, Region: 256 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					br(0.25, 2),
+					alu(1, 0),
+					alu(1, 2),
+					br(0.15, 1),
+					alu(1, 0),
+					st(0, 2),
+				},
+			}},
+		},
+		{
+			// leela: MCTS pointer chasing within a cache-resident tree.
+			Name: "leela", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "uct", Iterations: 48, Streams: []StreamSpec{
+					{Pattern: Chase, Region: 192 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					br(0.15, 1),
+					alu(1, 0),
+					imul(1, 0),
+					alu(1, 0),
+				},
+			}},
+		},
+		{
+			// exchange2: pure integer compute, almost no memory.
+			Name: "exchange2", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "permute", Iterations: 96, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 64 * kib, Stride: 8},
+				},
+				Body: []Op{
+					alu(0, 0),
+					alu(1, 0),
+					alu(1, 2),
+					imul(1, 0),
+					alu(1, 0),
+					br(0.05, 1),
+					alu(1, 0),
+					ld(0, 0),
+					alu(1, 0),
+				},
+			}},
+		},
+		{
+			// xz: integer compression, mid-size dictionary.
+			Name: "xz", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "match", Iterations: 56, Streams: []StreamSpec{
+					{Pattern: Rand, Region: 512 * kib},
+				},
+				Body: []Op{
+					ld(0, 0),
+					alu(1, 0),
+					br(0.12, 1),
+					alu(1, 0),
+					alu(1, 2),
+					alu(1, 0),
+					st(0, 1),
+				},
+			}},
+		},
+		{
+			// imagick: FP image kernels over cache-resident tiles.
+			Name: "imagick", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "convolve", Iterations: 72, Streams: []StreamSpec{
+					{Pattern: Seq, Region: 128 * kib, Stride: 8},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fmul(1, 0),
+					fadd(1, 0),
+					fmul(1, 2),
+					fadd(1, 0),
+					st(0, 1),
+					alu(0, 0),
+				},
+			}},
+		},
+		{
+			// nab: FP molecular dynamics on a small system.
+			Name: "nab", MemoryIntensive: false,
+			Kernels: []Kernel{{
+				Name: "forces", Iterations: 64, Streams: []StreamSpec{
+					{Pattern: Strided, Region: 256 * kib, Stride: CacheLine},
+				},
+				Body: []Op{
+					fld(0, 0),
+					fmul(1, 0),
+					fadd(1, 0),
+					fmul(1, 2),
+					fdiv(1, 0),
+					fadd(1, 0),
+					st(0, 1),
+				},
+			}},
+		},
+	}
+}

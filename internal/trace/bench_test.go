@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+
+	"rarsim/internal/isa"
+)
+
+func TestSuiteRegistry(t *testing.T) {
+	all := All()
+	if len(all) != len(MemoryIntensive())+len(ComputeIntensive()) {
+		t.Error("suite split does not partition All()")
+	}
+	if len(MemoryIntensive()) != 11 {
+		t.Errorf("expected the paper's 11 memory-intensive benchmarks, got %d",
+			len(MemoryIntensive()))
+	}
+	if len(ComputeIntensive()) < 6 {
+		t.Errorf("expected at least 6 compute-intensive foils, got %d",
+			len(ComputeIntensive()))
+	}
+	// Memory-intensive come first, each group sorted by name.
+	for i, b := range all {
+		if i > 0 && all[i-1].MemoryIntensive == b.MemoryIntensive &&
+			all[i-1].Name >= b.Name {
+			t.Errorf("suite not sorted at %q", b.Name)
+		}
+		if i > 0 && !all[i-1].MemoryIntensive && b.MemoryIntensive {
+			t.Error("memory-intensive must sort before compute-intensive")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mcf", "lbm", "libquantum", "fotonik", "x264"} {
+		b, err := ByName(name)
+		if err != nil || b.Name != name {
+			t.Errorf("ByName(%q): %v %v", name, b.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names() length mismatch")
+	}
+}
+
+// TestSuiteSpecsValid builds a generator for every benchmark (spec panics
+// would fire here) and generates a window of instructions.
+func TestSuiteSpecsValid(t *testing.T) {
+	for _, b := range All() {
+		g := New(b, 42)
+		var in isa.Inst
+		loads, branches := 0, 0
+		for i := 0; i < 20000; i++ {
+			g.Next(&in)
+			if in.IsLoad() {
+				loads++
+			}
+			if in.IsBranch() {
+				branches++
+			}
+		}
+		if loads == 0 {
+			t.Errorf("%s: no loads generated", b.Name)
+		}
+		if branches == 0 {
+			t.Errorf("%s: no branches generated", b.Name)
+		}
+		if frac := float64(loads) / 20000; frac > 0.45 {
+			t.Errorf("%s: load fraction %.2f too high (LQ would throttle the ROB)",
+				b.Name, frac)
+		}
+	}
+}
+
+// TestMemoryIntensiveHavePhases checks that every memory-intensive
+// benchmark mixes in a compute phase (DESIGN.md: phase behaviour carries
+// the residual ABC that no flush-based mechanism can remove).
+func TestMemoryIntensiveHavePhases(t *testing.T) {
+	for _, b := range MemoryIntensive() {
+		found := false
+		for _, k := range b.Kernels {
+			if k.Name == "compute" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: missing compute phase kernel", b.Name)
+		}
+	}
+}
+
+// TestWorkingSets checks the suite's region sizing rule: memory-intensive
+// main kernels must touch regions beyond the 1 MiB LLC; compute-intensive
+// benchmarks must stay cache-resident.
+func TestWorkingSets(t *testing.T) {
+	const llc = 1 << 20
+	for _, b := range All() {
+		var maxRegion uint64
+		for _, k := range b.Kernels {
+			if k.Name == "compute" {
+				continue
+			}
+			for _, s := range k.Streams {
+				if s.Region > maxRegion {
+					maxRegion = s.Region
+				}
+			}
+		}
+		if b.MemoryIntensive && maxRegion < llc {
+			t.Errorf("%s: memory-intensive but max region %d < LLC", b.Name, maxRegion)
+		}
+		if !b.MemoryIntensive && maxRegion > llc {
+			t.Errorf("%s: compute-intensive but region %d > LLC", b.Name, maxRegion)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rarsim/internal/isa"
+)
+
+// Trace files: a compact binary recording of a dynamic instruction stream,
+// so the simulator can replay external workloads (or snapshots of the
+// synthetic ones) instead of generating on the fly. The format is
+// deliberately boring — fixed-size little-endian records behind a small
+// header — and transparently gzip-compressed when the filename ends in
+// ".gz".
+//
+//	offset  size  field
+//	0       6     magic "RARTRC"
+//	6       2     version (1)
+//	8       8     instruction count
+//	16      8     wrong-path synthesiser seed
+//	24      8     wrong-path synthesiser base address
+//	32      8     name length n
+//	40      n     workload name (UTF-8)
+//	...           count records, 32 bytes each:
+//	                pc u64 | addr u64 | target u64 |
+//	                class u8 | flags u8 (bit0 taken) |
+//	                src1 u8 | src2 u8 | dest u8 | size u8 | pad u16
+
+const (
+	traceMagic   = "RARTRC"
+	traceVersion = 1
+	recordBytes  = 32
+)
+
+// WriteTrace records n instructions from src into w. When src exposes
+// WrongPathParams (Generator does), the parameters are recorded so the
+// replay's synthetic wrong-path stream matches the original exactly.
+func WriteTrace(w io.Writer, name string, src Source, n uint64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var wpSeed, wpBase uint64
+	if p, ok := src.(interface{ WrongPathParams() (uint64, uint64) }); ok {
+		wpSeed, wpBase = p.WrongPathParams()
+	}
+	var hdr [34]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[2:10], n)
+	binary.LittleEndian.PutUint64(hdr[10:18], wpSeed)
+	binary.LittleEndian.PutUint64(hdr[18:26], wpBase)
+	binary.LittleEndian.PutUint64(hdr[26:34], uint64(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+
+	var rec [recordBytes]byte
+	var in isa.Inst
+	for i := uint64(0); i < n; i++ {
+		src.Next(&in)
+		binary.LittleEndian.PutUint64(rec[0:8], in.PC)
+		binary.LittleEndian.PutUint64(rec[8:16], in.Addr)
+		binary.LittleEndian.PutUint64(rec[16:24], in.Target)
+		rec[24] = byte(in.Class)
+		rec[25] = 0
+		if in.Taken {
+			rec[25] = 1
+		}
+		rec[26] = byte(in.Src1)
+		rec[27] = byte(in.Src2)
+		rec[28] = byte(in.Dest)
+		rec[29] = in.Size
+		rec[30], rec[31] = 0, 0
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile records n instructions from src into path, gzipping when
+// the path ends in ".gz".
+func WriteTraceFile(path, name string, src Source, n uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteTrace(w, name, src, n); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// FileSource replays a recorded trace. The recording is loaded into memory
+// and looped, so the stream is infinite like a Generator's. FileSource
+// implements Source.
+type FileSource struct {
+	name  string
+	insts []isa.Inst
+	pos   int
+	wp    *wpSynth
+}
+
+// ReadTrace parses a trace from r.
+func ReadTrace(r io.Reader) (*FileSource, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(traceMagic)+34)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(traceMagic)])
+	}
+	if v := binary.LittleEndian.Uint16(head[6:8]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	wpSeed := binary.LittleEndian.Uint64(head[16:24])
+	wpBase := binary.LittleEndian.Uint64(head[24:32])
+	nameLen := binary.LittleEndian.Uint64(head[32:40])
+	if count == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: short name: %w", err)
+	}
+
+	fs := &FileSource{
+		name:  string(nameBuf),
+		insts: make([]isa.Inst, count),
+	}
+	var rec [recordBytes]byte
+	for i := range fs.insts {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: short record %d: %w", i, err)
+		}
+		in := &fs.insts[i]
+		in.PC = binary.LittleEndian.Uint64(rec[0:8])
+		in.Addr = binary.LittleEndian.Uint64(rec[8:16])
+		in.Target = binary.LittleEndian.Uint64(rec[16:24])
+		in.Class = isa.Class(rec[24])
+		if in.Class >= isa.NumClasses {
+			return nil, fmt.Errorf("trace: record %d has invalid class %d", i, rec[24])
+		}
+		in.Taken = rec[25]&1 != 0
+		in.Src1 = isa.Reg(rec[26])
+		in.Src2 = isa.Reg(rec[27])
+		in.Dest = isa.Reg(rec[28])
+		in.Size = rec[29]
+	}
+	fs.wp = newWpSynth(wpSeed, wpBase)
+	return fs, nil
+}
+
+// OpenTraceFile opens a trace file, decompressing ".gz" paths.
+func OpenTraceFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadTrace(r)
+}
+
+// Name returns the workload name recorded in the trace.
+func (fs *FileSource) Name() string { return fs.name }
+
+// Len returns the number of recorded instructions (one loop).
+func (fs *FileSource) Len() int { return len(fs.insts) }
+
+// Next serves the next recorded instruction, looping at the end.
+func (fs *FileSource) Next(in *isa.Inst) {
+	*in = fs.insts[fs.pos]
+	fs.pos++
+	if fs.pos == len(fs.insts) {
+		fs.pos = 0
+	}
+}
+
+// WrongPath synthesises wrong-path filler (recordings only contain the
+// correct path).
+func (fs *FileSource) WrongPath(in *isa.Inst, pc uint64) {
+	fs.wp.wrongPath(in, pc)
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"rarsim/internal/isa"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	b, err := ByName("gems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, b.Name, New(b, 7), n); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Name() != "gems" || fs.Len() != n {
+		t.Fatalf("name=%q len=%d", fs.Name(), fs.Len())
+	}
+	// Replayed instructions must be byte-identical to a fresh generation.
+	ref := New(b, 7)
+	var want, got isa.Inst
+	for i := 0; i < n; i++ {
+		ref.Next(&want)
+		fs.Next(&got)
+		if want != got {
+			t.Fatalf("record %d differs:\n  want %+v\n  got  %+v", i, want, got)
+		}
+	}
+	// The source loops: the next instruction is record 0 again.
+	fs.Next(&got)
+	fs2, _ := ReadTrace(mustTrace(t, b, 1))
+	fs2.Next(&want)
+	if got.PC != want.PC {
+		t.Error("trace did not loop to the start")
+	}
+}
+
+func mustTrace(t *testing.T, b Benchmark, n uint64) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, b.Name, New(b, 7), n); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestTraceFileGzip(t *testing.T) {
+	b, err := ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "t.trace")
+	zipped := filepath.Join(dir, "t.trace.gz")
+	if err := WriteTraceFile(plain, b.Name, New(b, 3), 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceFile(zipped, b.Name, New(b, 3), 2000); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenTraceFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := OpenTraceFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ia, iz isa.Inst
+	for i := 0; i < 2000; i++ {
+		a.Next(&ia)
+		z.Next(&iz)
+		if ia != iz {
+			t.Fatalf("gzip round-trip differs at %d", i)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header must error")
+	}
+	if _, err := ReadTrace(bytes.NewReader(append([]byte("BADMAG"), make([]byte, 18)...))); err == nil {
+		t.Error("bad magic must error")
+	}
+	if _, err := OpenTraceFile("/nonexistent/x.trace"); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestFileSourceWrongPath(t *testing.T) {
+	b, _ := ByName("gems")
+	fs, err := ReadTrace(mustTrace(t, b, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	fs.WrongPath(&in, 0x999000)
+	if !in.WrongPath || in.PC != 0x999000 {
+		t.Errorf("wrong-path synthesis: %+v", in)
+	}
+}

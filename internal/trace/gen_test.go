@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rarsim/internal/isa"
+)
+
+// small test benchmark: one kernel, two streams, a hammock and deps.
+func testBench() Benchmark {
+	return Benchmark{
+		Name: "test", MemoryIntensive: true,
+		Kernels: []Kernel{{
+			Name: "k", Iterations: 4,
+			Streams: []StreamSpec{
+				{Pattern: Seq, Region: 1 << 20, Stride: 8},
+				{Pattern: Chase, Region: 1 << 20},
+			},
+			Body: []Op{
+				ld(0, 0),
+				alu(1, 0),
+				br(0.5, 2),
+				alu(1, 0),
+				alu(1, 2),
+				ld(1, 0),
+				st(0, 1),
+			},
+		}},
+	}
+}
+
+func collect(g *Generator, n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	a := collect(New(testBench(), 7), 5000)
+	b := collect(New(testBench(), 7), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := collect(New(testBench(), 8), 5000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSeqStreamAddresses(t *testing.T) {
+	g := New(testBench(), 1)
+	var prev uint64
+	seen := 0
+	for i := 0; i < 1000; i++ {
+		var in isa.Inst
+		g.Next(&in)
+		if in.Class != isa.Load || in.PC != 0x10000000 {
+			continue // want the seq load at body slot 0
+		}
+		if seen > 0 && in.Addr != prev+16 {
+			// Two seq accesses per iteration (load + store share stream 0),
+			// so consecutive loads are 16 bytes apart (modulo wrap).
+			if in.Addr >= prev {
+				t.Fatalf("seq load stride: prev=%#x cur=%#x", prev, in.Addr)
+			}
+		}
+		prev = in.Addr
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("no seq loads observed")
+	}
+}
+
+func TestChaseDependence(t *testing.T) {
+	g := New(testBench(), 1)
+	var lastChaseDest isa.Reg = isa.NoReg
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		var in isa.Inst
+		g.Next(&in)
+		if in.Class == isa.Load && in.PC == 0x10000000+5*isa.InstBytes {
+			if lastChaseDest.Valid() && in.Src1 != lastChaseDest {
+				t.Fatalf("chase load must depend on previous chase dest: %v vs %v",
+					in.Src1, lastChaseDest)
+			}
+			lastChaseDest = in.Dest
+			checked++
+		}
+	}
+	if checked < 2 {
+		t.Fatal("chase loads not observed")
+	}
+}
+
+func TestBackEdgeTripCount(t *testing.T) {
+	g := New(testBench(), 1)
+	taken, notTaken := 0, 0
+	backPC := uint64(0x10000000 + 7*isa.InstBytes)
+	for i := 0; i < 5000; i++ {
+		var in isa.Inst
+		g.Next(&in)
+		if in.Class == isa.Branch && in.PC == backPC {
+			if in.Taken {
+				taken++
+				if in.Target != 0x10000000 {
+					t.Fatalf("back-edge target %#x", in.Target)
+				}
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if notTaken == 0 || taken == 0 {
+		t.Fatal("back-edge never exercised both directions")
+	}
+	// Iterations=4: taken 3 times per fall-through.
+	ratio := float64(taken) / float64(notTaken)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("trip ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestHammockSkips(t *testing.T) {
+	g := New(testBench(), 1)
+	var prev isa.Inst
+	for i := 0; i < 5000; i++ {
+		var in isa.Inst
+		g.Next(&in)
+		if prev.Class == isa.Branch && prev.Taken && prev.PC == 0x10000000+2*isa.InstBytes {
+			// Taken hammock with SkipLen 2 skips slots 3 and 4.
+			if in.PC != prev.Target {
+				t.Fatalf("after taken hammock, PC=%#x want %#x", in.PC, prev.Target)
+			}
+			if in.PC != 0x10000000+5*isa.InstBytes {
+				t.Fatalf("hammock target %#x", in.PC)
+			}
+		}
+		if prev.Class == isa.Branch && !prev.Taken {
+			if in.PC != prev.FallThrough() && in.PC != 0x10000000 {
+				t.Fatalf("not-taken branch followed by %#x", in.PC)
+			}
+		}
+		prev = in
+	}
+}
+
+func TestDepWiring(t *testing.T) {
+	g := New(testBench(), 1)
+	var prevDest isa.Reg
+	for i := 0; i < 200; i++ {
+		var in isa.Inst
+		g.Next(&in)
+		// alu(1,0) at slot 1 must source the load's destination.
+		if in.Class == isa.IntAlu && in.PC == 0x10000000+1*isa.InstBytes {
+			if in.Src1 != prevDest {
+				t.Fatalf("dep1 wiring: src=%v want %v", in.Src1, prevDest)
+			}
+		}
+		if in.Dest.Valid() {
+			prevDest = in.Dest
+		}
+	}
+}
+
+func TestWrongPath(t *testing.T) {
+	g := New(testBench(), 3)
+	pc := uint64(0x5000)
+	for i := 0; i < 500; i++ {
+		var in isa.Inst
+		g.WrongPath(&in, pc)
+		if !in.WrongPath {
+			t.Fatal("wrong-path instruction not marked")
+		}
+		if in.PC != pc {
+			t.Fatalf("wrong-path PC %#x want %#x", in.PC, pc)
+		}
+		if in.HasDest() {
+			// Wrong-path dests live in the scratch range r24..r31/f24..f31.
+			r := in.Dest
+			if r.IsInt() && (r < 24 || r > 31) {
+				t.Fatalf("wrong-path int dest %v outside scratch range", r)
+			}
+			if r.IsFp() && (r < isa.FirstFpReg+24 || r > isa.FirstFpReg+31) {
+				t.Fatalf("wrong-path fp dest %v outside scratch range", r)
+			}
+		}
+		pc += isa.InstBytes
+	}
+}
+
+// Property: every generated address stays within its stream's region.
+func TestAddressesInRegion(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := New(testBench(), seed)
+		for i := 0; i < 2000; i++ {
+			var in isa.Inst
+			g.Next(&in)
+			if !in.IsMem() {
+				continue
+			}
+			// Streams are 64 MiB apart with 1 MiB regions.
+			off := in.Addr & ((1 << 26) - 1)
+			if off >= (1<<20)+CacheLine {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PCs are 4-byte aligned and operands are valid or NoReg.
+func TestInstWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := New(testBench(), seed)
+		for i := 0; i < 2000; i++ {
+			var in isa.Inst
+			g.Next(&in)
+			if in.PC%isa.InstBytes != 0 {
+				return false
+			}
+			for _, r := range []isa.Reg{in.Src1, in.Src2, in.Dest} {
+				if r != isa.NoReg && !r.Valid() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := map[string]Benchmark{
+		"no kernels": {Name: "x"},
+		"empty body": {Name: "x", Kernels: []Kernel{{Name: "k", Iterations: 1,
+			Streams: []StreamSpec{{Pattern: Seq, Region: 64}}}}},
+		"bad stream": {Name: "x", Kernels: []Kernel{{Name: "k", Iterations: 1,
+			Streams: []StreamSpec{{Pattern: Seq, Region: 64}},
+			Body:    []Op{ld(3, 0)}}}},
+		"skip past end": {Name: "x", Kernels: []Kernel{{Name: "k", Iterations: 1,
+			Streams: []StreamSpec{{Pattern: Seq, Region: 64}},
+			Body:    []Op{br(0.5, 5), alu(0, 0)}}}},
+		"no iterations": {Name: "x", Kernels: []Kernel{{Name: "k",
+			Streams: []StreamSpec{{Pattern: Seq, Region: 64}},
+			Body:    []Op{alu(0, 0)}}}},
+	}
+	for name, b := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(b, 1)
+		}()
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{Seq: "seq", Strided: "strided", Chase: "chase", Rand: "rand"} {
+		if p.String() != want {
+			t.Errorf("%d = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+// rng is a small, fast, deterministic pseudo-random generator
+// (splitmix64). Workload generation must be exactly reproducible across
+// runs and platforms — the same (benchmark, seed) pair always yields the
+// same dynamic instruction stream — so we avoid math/rand's unspecified
+// evolution and keep the generator trivially inspectable.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	// Avoid the all-zeroes fixed point and decorrelate small seeds.
+	return &rng{state: seed*0x9E3779B97F4A7C15 + 0x1234567890ABCDEF}
+}
+
+// next64 returns the next 64 random bits.
+func (r *rng) next64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next64() % uint64(n))
+}
+
+// float64 returns a uniform float in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next64()>>11) / (1 << 53)
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.float64() < p
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "rarsim/internal/isa"
+
+// Source supplies a dynamic instruction stream to the simulated core: the
+// correct path via Next and synthetic wrong-path filler via WrongPath.
+// Generator (synthetic workloads) and FileSource (recorded traces) both
+// implement it.
+type Source interface {
+	// Next fills in with the next correct-path instruction. The stream
+	// is infinite; sources over finite recordings loop.
+	Next(in *isa.Inst)
+	// WrongPath fills in with a plausible wrong-path instruction at pc,
+	// used when fetch runs down a mispredicted, non-reconvergent path.
+	WrongPath(in *isa.Inst, pc uint64)
+}
+
+// wpSynth synthesises wrong-path instructions: a mix of ALU work and
+// scattered loads into a hot region, using scratch registers that never
+// alias correct-path dependences. Shared by Generator and FileSource.
+type wpSynth struct {
+	rnd  *rng
+	ring [8]isa.Reg
+	pos  int
+	seed uint64
+	base uint64
+}
+
+func newWpSynth(seed, base uint64) *wpSynth {
+	return &wpSynth{rnd: newRNG(seed ^ 0xDEADBEEF), seed: seed, base: base}
+}
+
+// params returns the synthesiser's construction parameters, so trace
+// recordings can reproduce the exact same wrong-path stream on replay.
+func (w *wpSynth) params() (seed, base uint64) { return w.seed, w.base }
+
+func (w *wpSynth) wrongPath(in *isa.Inst, pc uint64) {
+	*in = isa.Inst{
+		PC:        pc,
+		Src1:      isa.NoReg,
+		Src2:      isa.NoReg,
+		Dest:      isa.NoReg,
+		WrongPath: true,
+	}
+	roll := w.rnd.intn(100)
+	switch {
+	case roll < 50:
+		in.Class = isa.IntAlu
+		in.Dest = w.allocDest(false)
+		in.Src1 = w.ring[w.rnd.intn(len(w.ring))]
+	case roll < 60:
+		// Wrong-path loads touch the hot working set: mostly cache hits,
+		// occasional pollution, as on real mispredicted paths.
+		in.Class = isa.Load
+		region := uint64(128 << 10)
+		in.Addr = w.base + (w.rnd.next64()%(region/CacheLine))*CacheLine
+		in.Size = 8
+		in.Dest = w.allocDest(false)
+	case roll < 70:
+		in.Class = isa.FpAdd
+		in.Dest = w.allocDest(true)
+	case roll < 80:
+		in.Class = isa.Branch
+		in.Taken = false
+		in.Target = pc + isa.InstBytes
+	default:
+		in.Class = isa.IntAlu
+		in.Dest = w.allocDest(false)
+	}
+	if in.Dest.Valid() {
+		w.ring[w.pos] = in.Dest
+		w.pos = (w.pos + 1) % len(w.ring)
+	}
+}
+
+// allocDest hands out scratch registers r24..r31 / f24..f31.
+func (w *wpSynth) allocDest(fp bool) isa.Reg {
+	n := isa.Reg(w.rnd.intn(8))
+	if fp {
+		return isa.FirstFpReg + 24 + n
+	}
+	return 24 + n
+}
