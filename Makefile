@@ -1,0 +1,27 @@
+# Developer workflow. `make ci` is what every PR must pass: vet, build,
+# and the full test suite under the race detector — the memoizing
+# simulation engine is concurrency-heavy, so -race is not optional.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench clean
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	rm -rf results/cache

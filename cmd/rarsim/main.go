@@ -31,6 +31,7 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and schemes, then exit")
 		timeline  = flag.Uint64("timeline", 0, "print an AVF-over-time series with this window size in cycles")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per run instead of the table")
+		cacheDir  = flag.String("cache", "", "directory to persist simulated cells into; repeated runs of the same cell warm-start from it")
 	)
 	flag.Parse()
 
@@ -91,10 +92,15 @@ func main() {
 		fmt.Printf("%-12s %-10s %8s %8s %8s %8s %7s %9s %12s\n",
 			"bench", "scheme", "IPC", "MPKI", "MLP", "mispred", "RA/flsh", "AVF", "ABC")
 	}
+	eng := rarsim.NewEngine()
+	if *cacheDir != "" {
+		eng, err = rarsim.NewPersistentEngine(*cacheDir)
+		check(err)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, b := range benches {
 		for _, s := range schemeList {
-			st, err := rarsim.Run(cfg, s, b.Name, opt)
+			st, err := eng.Run(cfg, s, b, opt)
 			check(err)
 			if *jsonOut {
 				check(enc.Encode(st))

@@ -35,7 +35,7 @@ func AblationTimer(c Config) error {
 		cores = append(cores, core)
 	}
 	schemes := []config.Scheme{config.OoO, config.RAR}
-	rs, err := sim.RunMatrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -70,7 +70,7 @@ func AblationMSHR(c Config) error {
 		cores = append(cores, core)
 	}
 	schemes := []config.Scheme{config.OoO, config.PRE, config.RAR}
-	rs, err := sim.RunMatrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -93,7 +93,7 @@ func AblationMSHR(c Config) error {
 func AblationScaledRAR(c Config) error {
 	cores := config.ScaledCores()
 	schemes := []config.Scheme{config.OoO, config.RAR}
-	rs, err := sim.RunMatrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -118,7 +118,7 @@ func AblationSeeds(c Config) error {
 	for _, seed := range seeds {
 		opt := c.Opt
 		opt.Seed = seed
-		rs, err := sim.RunMatrix(baselineList(),
+		rs, err := c.matrix(baselineList(),
 			[]config.Scheme{config.OoO, config.PRE, config.RAR},
 			trace.MemoryIntensive(), opt)
 		if err != nil {
@@ -166,8 +166,13 @@ func AblationInjection(c Config) error {
 	return c.emit(t, "ablation_injection")
 }
 
-// Ablations runs every ablation.
+// Ablations runs every ablation, sharing one memoizing engine across
+// them (AblationInjection and AblationMulticore drive the simulator
+// directly rather than through matrices, so they do not hit the cache).
 func Ablations(c Config) error {
+	if c.Engine == nil {
+		c.Engine = sim.NewEngine()
+	}
 	for _, f := range []func(Config) error{AblationTimer, AblationMSHR, AblationScaledRAR, AblationSeeds, AblationInjection, AblationMulticore, AblationEnergy} {
 		if err := f(c); err != nil {
 			return err
@@ -239,7 +244,7 @@ func AblationMulticore(c Config) error {
 // percent, unlike redundancy's ~2x) should reproduce.
 func AblationEnergy(c Config) error {
 	schemes := append([]config.Scheme{config.OoO}, config.RunaheadVariants()...)
-	rs, err := sim.RunMatrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}

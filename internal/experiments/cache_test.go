@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"rarsim/internal/config"
+	"rarsim/internal/mem"
+	"rarsim/internal/sim"
+	"rarsim/internal/trace"
+)
+
+// allFigureMatrices mirrors the (cores × schemes × benches) matrix of
+// every figure All runs, in the same order. Kept in lockstep with
+// figures.go so the test below can compute the expected unique-cell
+// count independently of the engine's own bookkeeping.
+func allFigureMatrices() []struct {
+	cores   []config.Core
+	schemes []config.Scheme
+	benches []trace.Benchmark
+} {
+	type m = struct {
+		cores   []config.Core
+		schemes []config.Scheme
+		benches []trace.Benchmark
+	}
+	return []m{
+		{baselineList(), []config.Scheme{config.OoO, config.FLUSH, config.PRE, config.TR, config.RAR}, trace.MemoryIntensive()}, // Fig1
+		{baselineList(), []config.Scheme{config.OoO}, trace.All()},                                                              // Fig3
+		{config.ScaledCores(), []config.Scheme{config.OoO}, trace.MemoryIntensive()},                                            // Fig4
+		{baselineList(), []config.Scheme{config.OoO}, trace.MemoryIntensive()},                                                  // Fig5
+		{baselineList(), fig7and8Schemes(), trace.All()},                                                                        // Fig7
+		{baselineList(), fig7and8Schemes(), trace.MemoryIntensive()},                                                            // Fig8
+		{baselineList(), append([]config.Scheme{config.OoO}, config.RunaheadVariants()...), trace.MemoryIntensive()},            // Fig9
+		{config.ScaledCores(), []config.Scheme{config.OoO, config.RAR}, trace.MemoryIntensive()},                                // Fig10
+		{[]config.Core{ // Fig11
+			config.Baseline(),
+			config.Baseline().WithPrefetch(mem.PrefetchL3),
+			config.Baseline().WithPrefetch(mem.PrefetchAll),
+		}, []config.Scheme{config.OoO, config.PRE, config.RAR}, trace.MemoryIntensive()},
+	}
+}
+
+// TestAllSimulatesEachUniqueCellOnce is the memoization acceptance test:
+// running every figure through one shared engine must simulate exactly
+// the number of *unique* (core, scheme, bench, options) cells the nine
+// figures span — every repeated cell is a cache hit — and a second full
+// pass must simulate nothing at all.
+func TestAllSimulatesEachUniqueCellOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every figure matrix")
+	}
+	opt := sim.Options{Instructions: 4_000, Warmup: 1_000, Seed: 42}
+	eng := sim.NewEngine()
+	c := Config{Opt: opt, Out: io.Discard, Engine: eng}
+	if err := All(c); err != nil {
+		t.Fatal(err)
+	}
+
+	unique := map[sim.CellKey]bool{}
+	requested := 0
+	for _, m := range allFigureMatrices() {
+		for _, cfg := range m.cores {
+			for _, s := range m.schemes {
+				for _, b := range m.benches {
+					unique[sim.KeyFor(cfg, s, b, opt)] = true
+					requested++
+				}
+			}
+		}
+	}
+	if requested <= len(unique) {
+		t.Fatalf("figure matrices share no cells (%d requested, %d unique) — memoization has nothing to do", requested, len(unique))
+	}
+
+	m := eng.Metrics()
+	if m.Simulated != uint64(len(unique)) {
+		t.Errorf("simulated %d cells, want exactly the %d unique cells", m.Simulated, len(unique))
+	}
+	if m.Hits != uint64(requested-len(unique)) {
+		t.Errorf("cache hits = %d, want %d (requested %d − unique %d)", m.Hits, requested-len(unique), requested, len(unique))
+	}
+	if m.Errors != 0 {
+		t.Errorf("errors = %d, want 0", m.Errors)
+	}
+
+	// Second full pass over the warm engine: zero new simulations.
+	if err := All(c); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Metrics()
+	if after.Simulated != m.Simulated {
+		t.Errorf("second pass simulated %d new cells, want 0", after.Simulated-m.Simulated)
+	}
+	if wantHits := m.Hits + uint64(requested); after.Hits != wantHits {
+		t.Errorf("second pass hits = %d, want %d", after.Hits, wantHits)
+	}
+}

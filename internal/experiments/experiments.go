@@ -28,6 +28,12 @@ type Config struct {
 	Out io.Writer
 	// CSVDir, when non-empty, additionally writes each table as CSV.
 	CSVDir string
+	// Engine, when non-nil, memoizes simulation cells: figures sharing a
+	// cell (same core config, scheme, benchmark and options) simulate it
+	// once and reuse the result. All and Ablations install a shared
+	// memory engine automatically when none is provided; pass a
+	// sim.NewPersistentEngine to warm-start from disk across runs.
+	Engine *sim.Engine
 }
 
 // DefaultConfig returns a configuration writing to stdout with the default
@@ -53,8 +59,15 @@ func (c Config) emit(t *report.Table, csvName string) error {
 	return nil
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order, sharing one memoizing
+// engine: a cell simulated for an early figure is a cache hit for every
+// later figure that reuses it. Fig2 and Fig6 are intentionally absent —
+// in the paper they are conceptual diagrams (the ACE vulnerability
+// windows and the RAR mechanism overview), not measured results.
 func All(c Config) error {
+	if c.Engine == nil {
+		c.Engine = sim.NewEngine()
+	}
 	steps := []struct {
 		name string
 		fn   func(Config) error
@@ -113,6 +126,16 @@ func ByName(name string, c Config) error {
 	default:
 		return fmt.Errorf("experiments: unknown figure %q (use 1,3,4,5,7,8,9,10,11, all, or an ablation: ablations, timer, mshr, scaling, seeds, inject, multicore, energy)", name)
 	}
+}
+
+// matrix runs one experiment matrix through the shared engine when the
+// Config carries one, falling back to an unshared run otherwise. opt is
+// passed explicitly because some ablations vary it per matrix.
+func (c Config) matrix(cores []config.Core, schemes []config.Scheme, benches []trace.Benchmark, opt sim.Options) (*sim.ResultSet, error) {
+	if c.Engine != nil {
+		return c.Engine.RunMatrix(cores, schemes, benches, opt)
+	}
+	return sim.RunMatrix(cores, schemes, benches, opt)
 }
 
 // memNames returns the memory-intensive benchmark names.

@@ -8,7 +8,6 @@ import (
 	"rarsim/internal/mem"
 	"rarsim/internal/metrics"
 	"rarsim/internal/report"
-	"rarsim/internal/sim"
 	"rarsim/internal/trace"
 )
 
@@ -17,7 +16,7 @@ import (
 // memory-intensive benchmarks.
 func Fig1(c Config) error {
 	schemes := []config.Scheme{config.OoO, config.FLUSH, config.PRE, config.TR, config.RAR}
-	rs, err := sim.RunMatrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -36,7 +35,7 @@ func Fig1(c Config) error {
 // baseline OoO core for each memory-intensive benchmark, with the average
 // stack of the compute-intensive benchmarks for contrast.
 func Fig3(c Config) error {
-	rs, err := sim.RunMatrix(baselineList(), []config.Scheme{config.OoO}, trace.All(), c.Opt)
+	rs, err := c.matrix(baselineList(), []config.Scheme{config.OoO}, trace.All(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -78,7 +77,7 @@ func Fig3(c Config) error {
 // memory-intensive benchmarks.
 func Fig4(c Config) error {
 	cores := config.ScaledCores()
-	rs, err := sim.RunMatrix(cores, []config.Scheme{config.OoO}, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(cores, []config.Scheme{config.OoO}, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -100,7 +99,7 @@ func Fig4(c Config) error {
 // is exposed while an LLC-miss load blocks the ROB head, and while the ROB
 // is additionally full.
 func Fig5(c Config) error {
-	rs, err := sim.RunMatrix(baselineList(), []config.Scheme{config.OoO}, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(baselineList(), []config.Scheme{config.OoO}, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -134,7 +133,7 @@ func fig7and8Schemes() []config.Scheme {
 // normalised ABC for FLUSH, PRE, RAR-LATE and RAR over the full suite.
 func Fig7(c Config) error {
 	schemes := fig7and8Schemes()
-	rs, err := sim.RunMatrix(baselineList(), schemes, trace.All(), c.Opt)
+	rs, err := c.matrix(baselineList(), schemes, trace.All(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -182,7 +181,7 @@ func Fig7(c Config) error {
 // for the headline schemes over the memory-intensive benchmarks.
 func Fig8(c Config) error {
 	schemes := fig7and8Schemes()
-	rs, err := sim.RunMatrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -224,7 +223,7 @@ func Fig8(c Config) error {
 // (§V-B: RAR triggers 2.3x more often).
 func Fig9(c Config) error {
 	schemes := append([]config.Scheme{config.OoO}, config.RunaheadVariants()...)
-	rs, err := sim.RunMatrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(baselineList(), schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -259,7 +258,7 @@ func Fig9(c Config) error {
 func Fig10(c Config) error {
 	cores := config.ScaledCores()
 	schemes := []config.Scheme{config.OoO, config.RAR}
-	rs, err := sim.RunMatrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}
@@ -291,7 +290,7 @@ func Fig11(c Config) error {
 		config.Baseline().WithPrefetch(mem.PrefetchAll),
 	}
 	schemes := []config.Scheme{config.OoO, config.PRE, config.RAR}
-	rs, err := sim.RunMatrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
+	rs, err := c.matrix(cores, schemes, trace.MemoryIntensive(), c.Opt)
 	if err != nil {
 		return err
 	}

@@ -25,11 +25,32 @@ func TestMeansEmptyAndInvalid(t *testing.T) {
 	if ArithMean(nil) != 0 || GeoMean(nil) != 0 || HarmMean(nil) != 0 {
 		t.Error("empty slices must yield 0")
 	}
-	if GeoMean([]float64{1, 0, 2}) != 0 {
-		t.Error("geomean with non-positive input must yield 0")
+	// Regression (silent-zero bug): one degenerate value used to zero the
+	// entire aggregate. Invalid values are now skipped instead.
+	if got := GeoMean([]float64{1, 0, 2}); !approx(got, math.Sqrt2) {
+		t.Errorf("geomean skipping a zero = %v, want sqrt(2)", got)
 	}
-	if HarmMean([]float64{1, -1}) != 0 {
-		t.Error("hmean with non-positive input must yield 0")
+	if got := HarmMean([]float64{1, -1}); !approx(got, 1) {
+		t.Errorf("hmean skipping a negative = %v, want 1", got)
+	}
+}
+
+// Regression: NaN and ±Inf cells are skipped like non-positive ones, and
+// a slice with *only* invalid values surfaces NaN rather than a
+// plausible-looking 0 or a poisoned aggregate.
+func TestMeansSkipNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	if got := GeoMean([]float64{4, nan, inf, -inf, 1}); !approx(got, 2) {
+		t.Errorf("geomean skipping non-finite = %v, want 2", got)
+	}
+	if got := HarmMean([]float64{1, nan, inf, 1}); !approx(got, 1) {
+		t.Errorf("hmean skipping non-finite = %v, want 1", got)
+	}
+	if got := GeoMean([]float64{0, -3, nan}); !math.IsNaN(got) {
+		t.Errorf("geomean of all-invalid = %v, want NaN", got)
+	}
+	if got := HarmMean([]float64{0, inf}); !math.IsNaN(got) {
+		t.Errorf("hmean of all-invalid = %v, want NaN", got)
 	}
 }
 

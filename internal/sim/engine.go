@@ -1,0 +1,437 @@
+package sim
+
+// This file implements the memoizing simulation engine: every (core
+// config, scheme, benchmark, options) cell is simulated at most once per
+// Engine, no matter how many experiment matrices request it. Identity is
+// the *full* cell configuration — a content hash over the core and scheme
+// structs and the benchmark's kernels, not just their names — so two
+// configs that share a name but differ in any field occupy different
+// cache slots, and any config change invalidates naturally. An Engine can
+// optionally persist cells to disk (JSON, one file per cell) under a
+// directory versioned by a schema hash of the involved struct types, so
+// cache entries from an older build self-invalidate instead of serving
+// stale or misshapen statistics.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"rarsim/internal/config"
+	"rarsim/internal/core"
+	"rarsim/internal/trace"
+)
+
+// CellKey is the full identity of one simulation cell. Two cells with
+// equal keys are guaranteed to produce identical statistics (simulations
+// are deterministic in the seed), which is what makes memoization sound.
+type CellKey struct {
+	// Core, Scheme and Bench are the display names, kept for human
+	// consumption (log lines, cache filenames, error messages).
+	Core   string
+	Scheme string
+	Bench  string
+	// Instructions, Warmup and Seed are the Options fields that affect
+	// the simulation outcome. Parallelism is deliberately excluded: it
+	// only schedules work, it never changes a cell's result.
+	Instructions uint64
+	Warmup       uint64
+	Seed         uint64
+	// ConfigHash fingerprints the complete core configuration, scheme
+	// descriptor and benchmark definition, so cells are distinguished by
+	// content even when names collide.
+	ConfigHash uint64
+}
+
+// String renders the key as core/scheme/bench for log lines.
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Core, k.Scheme, k.Bench)
+}
+
+// KeyFor computes the cache key of one cell. The hash covers every field
+// of the core config (including the memory hierarchy and DRAM timing),
+// the scheme feature flags, and the benchmark's kernel definitions, via
+// their canonical Go-syntax representations — all three are plain value
+// structs, so the representation is deterministic.
+func KeyFor(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, opt Options) CellKey {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v\x00%#v\x00%#v", cfg, scheme, bench)
+	return CellKey{
+		Core:         cfg.Name,
+		Scheme:       scheme.Name,
+		Bench:        bench.Name,
+		Instructions: opt.Instructions,
+		Warmup:       opt.Warmup,
+		Seed:         opt.Seed,
+		ConfigHash:   h.Sum64(),
+	}
+}
+
+// SchemaHash fingerprints the shape (field names and types, recursively)
+// of every struct that participates in a persisted cache entry. It
+// changes whenever config.Core, config.Scheme, trace.Benchmark, Options
+// or core.Stats gain, lose or retype a field, which silently retires any
+// on-disk cache written by a previous build.
+func SchemaHash() string {
+	h := fnv.New64a()
+	seen := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		switch t.Kind() {
+		case reflect.Struct:
+			if seen[t] {
+				fmt.Fprintf(h, "<%s>", t.String())
+				return
+			}
+			seen[t] = true
+			fmt.Fprintf(h, "%s{", t.String())
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				fmt.Fprintf(h, "%s:", f.Name)
+				walk(f.Type)
+				h.Write([]byte(";"))
+			}
+			h.Write([]byte("}"))
+		case reflect.Slice, reflect.Array, reflect.Pointer:
+			fmt.Fprintf(h, "%s[", t.String())
+			walk(t.Elem())
+			h.Write([]byte("]"))
+		default:
+			h.Write([]byte(t.String()))
+		}
+	}
+	for _, t := range []reflect.Type{
+		reflect.TypeOf(config.Core{}),
+		reflect.TypeOf(config.Scheme{}),
+		reflect.TypeOf(trace.Benchmark{}),
+		reflect.TypeOf(Options{}),
+		reflect.TypeOf(core.Stats{}),
+	} {
+		walk(t)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Metrics is a snapshot of an Engine's counters.
+type Metrics struct {
+	// Simulated counts cells that ran the cycle-level simulator.
+	Simulated uint64
+	// Hits counts requests served without simulating: from memory, from
+	// disk, or by waiting on an identical in-flight simulation.
+	Hits uint64
+	// DiskHits counts the subset of Hits loaded from the on-disk cache.
+	DiskHits uint64
+	// Errors counts failed simulations (never cached).
+	Errors uint64
+	// Unique is the number of distinct cells currently held in memory.
+	Unique int
+	// SimTime is the cumulative wall-clock time spent inside the
+	// simulator (summed across parallel workers).
+	SimTime time.Duration
+}
+
+// CellProgress describes one completed cell lookup, for progress
+// reporting.
+type CellProgress struct {
+	// Key identifies the cell.
+	Key CellKey
+	// Source is "sim" (freshly simulated), "mem" (memory or in-flight
+	// hit) or "disk" (loaded from the persistent cache).
+	Source string
+	// Dur is the simulation wall-clock time; zero for cache hits.
+	Dur time.Duration
+	// IPC and MLP summarise the cell's result.
+	IPC, MLP float64
+	// Metrics is the engine counter snapshot after this cell.
+	Metrics Metrics
+}
+
+// cellEntry is one memoized (or in-flight) cell. done is closed when
+// stats/err are final; waiters block on it without holding the engine
+// lock, so distinct cells simulate concurrently.
+type cellEntry struct {
+	done  chan struct{}
+	stats core.Stats
+	err   error
+}
+
+// Engine memoizes simulation cells. It is safe for concurrent use; an
+// engine shared across experiment matrices simulates each unique cell
+// exactly once. The zero value is not usable — construct with NewEngine
+// or NewPersistentEngine.
+type Engine struct {
+	// OnCell, when non-nil, is invoked (unlocked, from the requesting
+	// goroutine) after every completed cell lookup. Set it before the
+	// engine is first used.
+	OnCell func(CellProgress)
+
+	mu    sync.Mutex
+	cells map[CellKey]*cellEntry
+	m     Metrics
+	dir   string // versioned persistence directory; "" = memory only
+
+	// runCell performs one simulation; replaced in tests.
+	runCell func(config.Core, config.Scheme, trace.Benchmark, Options) (core.Stats, error)
+}
+
+// NewEngine returns a memory-only memoizing engine.
+func NewEngine() *Engine {
+	return &Engine{
+		cells:   make(map[CellKey]*cellEntry),
+		runCell: Run,
+	}
+}
+
+// NewPersistentEngine returns an engine that additionally persists every
+// simulated cell as JSON under dir/v-<schema hash>/, and warm-starts
+// from entries found there. Entries written by a build with different
+// struct shapes live under a different schema directory and are never
+// read.
+func NewPersistentEngine(dir string) (*Engine, error) {
+	sub := filepath.Join(dir, "v-"+SchemaHash())
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return nil, fmt.Errorf("sim: cache dir: %w", err)
+	}
+	e := NewEngine()
+	e.dir = sub
+	return e, nil
+}
+
+// CacheDir returns the engine's versioned persistence directory, or ""
+// for a memory-only engine.
+func (e *Engine) CacheDir() string { return e.dir }
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.m
+	m.Unique = len(e.cells)
+	return m
+}
+
+// Run returns the statistics of one cell, simulating it only if no
+// earlier call (or persisted entry) already did. Concurrent calls with
+// the same key share a single simulation. Errors are returned to every
+// waiter but never cached: a later call retries.
+func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, opt Options) (core.Stats, error) {
+	key := KeyFor(cfg, scheme, bench, opt)
+
+	e.mu.Lock()
+	if ent, ok := e.cells[key]; ok {
+		e.m.Hits++
+		e.mu.Unlock()
+		<-ent.done
+		if ent.err != nil {
+			return core.Stats{}, ent.err
+		}
+		e.progress(key, "mem", 0, ent.stats)
+		return ent.stats, nil
+	}
+	ent := &cellEntry{done: make(chan struct{})}
+	e.cells[key] = ent
+	e.mu.Unlock()
+
+	// Miss: try the persistent cache, then simulate.
+	if st, ok := e.loadDisk(key); ok {
+		ent.stats = st
+		e.mu.Lock()
+		e.m.Hits++
+		e.m.DiskHits++
+		e.mu.Unlock()
+		close(ent.done)
+		e.progress(key, "disk", 0, st)
+		return st, nil
+	}
+	start := time.Now()
+	st, err := e.runCell(cfg, scheme, bench, opt)
+	dur := time.Since(start)
+	ent.stats, ent.err = st, err
+
+	e.mu.Lock()
+	if err != nil {
+		// A failed cell must never serve its zero-value stats: drop the
+		// entry entirely so later requests retry rather than reading
+		// garbage.
+		delete(e.cells, key)
+		e.m.Errors++
+	} else {
+		e.m.Simulated++
+		e.m.SimTime += dur
+	}
+	e.mu.Unlock()
+	close(ent.done)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	e.storeDisk(key, st, dur)
+	e.progress(key, "sim", dur, st)
+	return st, nil
+}
+
+func (e *Engine) progress(key CellKey, source string, dur time.Duration, st core.Stats) {
+	if e.OnCell == nil {
+		return
+	}
+	e.OnCell(CellProgress{
+		Key:     key,
+		Source:  source,
+		Dur:     dur,
+		IPC:     st.IPC(),
+		MLP:     st.Mem.MLP(),
+		Metrics: e.Metrics(),
+	})
+}
+
+// diskCell is the persisted form of one cell.
+type diskCell struct {
+	Key        CellKey    `json:"key"`
+	Stats      core.Stats `json:"stats"`
+	SimSeconds float64    `json:"simSeconds"`
+}
+
+// cellPath maps a key to its cache file. The name hashes every key field
+// (the human-readable names are prefixed for browsability).
+func (e *Engine) cellPath(key CellKey) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", key)
+	return filepath.Join(e.dir, fmt.Sprintf("%s_%s_%s_%016x.json",
+		sanitize(key.Core), sanitize(key.Scheme), sanitize(key.Bench), h.Sum64()))
+}
+
+// sanitize keeps cache filenames portable.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// loadDisk reads a persisted cell, validating that the stored key is
+// exactly the requested one (guarding against filename collisions and
+// hand-edited files). Any failure is a plain miss.
+func (e *Engine) loadDisk(key CellKey) (core.Stats, bool) {
+	if e.dir == "" {
+		return core.Stats{}, false
+	}
+	data, err := os.ReadFile(e.cellPath(key))
+	if err != nil {
+		return core.Stats{}, false
+	}
+	var dc diskCell
+	if err := json.Unmarshal(data, &dc); err != nil || dc.Key != key {
+		return core.Stats{}, false
+	}
+	return dc.Stats, true
+}
+
+// storeDisk persists one simulated cell, best-effort: a full disk or
+// read-only directory degrades to memory-only caching rather than
+// failing the run. The write is atomic (temp file + rename) so a
+// concurrent reader never sees a torn entry.
+func (e *Engine) storeDisk(key CellKey, st core.Stats, dur time.Duration) {
+	if e.dir == "" {
+		return
+	}
+	data, err := json.Marshal(diskCell{Key: key, Stats: st, SimSeconds: dur.Seconds()})
+	if err != nil {
+		return
+	}
+	path := e.cellPath(key)
+	tmp, err := os.CreateTemp(e.dir, ".cell-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// RunMatrix simulates every (core, scheme, benchmark) combination,
+// consulting the memo cache before spawning any simulation, and returns
+// the result set. Cells are only stored on success, and once any cell
+// has failed all further writes are dropped: a partially-built set can
+// never serve zero-value statistics. The returned error names every
+// failed cell (scheduling of new cells stops at the first failure, but
+// in-flight cells that also fail are reported too).
+func (e *Engine) RunMatrix(cores []config.Core, schemes []config.Scheme, benches []trace.Benchmark, opt Options) (*ResultSet, error) {
+	type job struct {
+		cfg    config.Core
+		scheme config.Scheme
+		bench  trace.Benchmark
+	}
+	var jobs []job
+	for _, cfg := range cores {
+		for _, s := range schemes {
+			for _, b := range benches {
+				jobs = append(jobs, job{cfg, s, b})
+			}
+		}
+	}
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+
+	rs := &ResultSet{cells: make(map[Key]core.Stats, len(jobs))}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+		errs []error
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if len(errs) > 0 || next >= len(jobs) {
+				mu.Unlock()
+				return
+			}
+			j := jobs[next]
+			next++
+			mu.Unlock()
+
+			st, err := e.Run(j.cfg, j.scheme, j.bench, opt)
+			mu.Lock()
+			switch {
+			case err != nil:
+				errs = append(errs, fmt.Errorf("%s/%s/%s: %w", j.cfg.Name, j.scheme.Name, j.bench.Name, err))
+			case len(errs) == 0:
+				rs.cells[Key{j.cfg.Name, j.scheme.Name, j.bench.Name}] = st
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(par)
+	for i := 0; i < par; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("sim: %d cell(s) failed: %w", len(errs), errors.Join(errs...))
+	}
+	return rs, nil
+}

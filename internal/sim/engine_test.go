@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rarsim/internal/config"
+	"rarsim/internal/core"
+	"rarsim/internal/trace"
+)
+
+// matrixJSON renders every cell of a result set as canonical JSON, for
+// byte-identity comparisons.
+func matrixJSON(t *testing.T, rs *ResultSet, cores []config.Core, schemes []config.Scheme, benches []trace.Benchmark) []byte {
+	t.Helper()
+	var buf []byte
+	for _, c := range cores {
+		for _, s := range schemes {
+			for _, b := range benches {
+				data, err := json.Marshal(rs.MustStats(c.Name, s.Name, b.Name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf = append(buf, data...)
+				buf = append(buf, '\n')
+			}
+		}
+	}
+	return buf
+}
+
+// TestEngineMemoizes runs the same matrix twice through one engine: the
+// second pass must be 100% cache hits with zero new simulations, and the
+// result sets must be byte-identical.
+func TestEngineMemoizes(t *testing.T) {
+	cores := []config.Core{config.Baseline()}
+	schemes := []config.Scheme{config.OoO, config.RAR}
+	benches := twoBenches(t)
+	opt := smallOpt()
+
+	e := NewEngine()
+	rs1, err := e.RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := e.Metrics()
+	want := uint64(len(cores) * len(schemes) * len(benches))
+	if m1.Simulated != want || m1.Hits != 0 {
+		t.Fatalf("first pass: simulated=%d hits=%d, want %d/0", m1.Simulated, m1.Hits, want)
+	}
+
+	rs2, err := e.RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := e.Metrics()
+	if m2.Simulated != m1.Simulated {
+		t.Errorf("second pass simulated %d new cells, want 0", m2.Simulated-m1.Simulated)
+	}
+	if m2.Hits != want {
+		t.Errorf("second pass hits = %d, want %d", m2.Hits, want)
+	}
+	if !reflect.DeepEqual(rs1.cells, rs2.cells) {
+		t.Error("cached pass differs from simulated pass")
+	}
+	j1 := matrixJSON(t, rs1, cores, schemes, benches)
+	j2 := matrixJSON(t, rs2, cores, schemes, benches)
+	if string(j1) != string(j2) {
+		t.Error("cached result set is not byte-identical to the simulated one")
+	}
+}
+
+// TestEngineDeterminism: two independent engines with the same seed must
+// produce byte-identical result sets.
+func TestEngineDeterminism(t *testing.T) {
+	cores := []config.Core{config.Baseline()}
+	schemes := []config.Scheme{config.OoO, config.PRE}
+	benches := twoBenches(t)
+	opt := smallOpt()
+
+	rs1, err := NewEngine().RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := NewEngine().RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := matrixJSON(t, rs1, cores, schemes, benches)
+	j2 := matrixJSON(t, rs2, cores, schemes, benches)
+	if string(j1) != string(j2) {
+		t.Error("same seed must yield byte-identical result sets")
+	}
+}
+
+// TestKeyInvalidation pins what identifies a cell: any change to the
+// options, the core config, the scheme flags or the benchmark definition
+// must move to a different cache slot; the parallelism knob must not.
+func TestKeyInvalidation(t *testing.T) {
+	cfg := config.Baseline()
+	bench := twoBenches(t)[0]
+	opt := smallOpt()
+	base := KeyFor(cfg, config.RAR, bench, opt)
+
+	if got := KeyFor(cfg, config.RAR, bench, opt); got != base {
+		t.Error("identical inputs must map to the identical key")
+	}
+	par := opt
+	par.Parallelism = 13
+	if got := KeyFor(cfg, config.RAR, bench, par); got != base {
+		t.Error("parallelism must not affect the key")
+	}
+
+	mut := []struct {
+		name string
+		key  CellKey
+	}{
+		{"instructions", func() CellKey { o := opt; o.Instructions++; return KeyFor(cfg, config.RAR, bench, o) }()},
+		{"warmup", func() CellKey { o := opt; o.Warmup++; return KeyFor(cfg, config.RAR, bench, o) }()},
+		{"seed", func() CellKey { o := opt; o.Seed++; return KeyFor(cfg, config.RAR, bench, o) }()},
+		{"scheme", KeyFor(cfg, config.RARLate, bench, opt)},
+		{"core field", func() CellKey { c := cfg; c.ROB++; return KeyFor(c, config.RAR, bench, opt) }()},
+		{"mem field", func() CellKey { c := cfg; c.Mem.MSHRs++; return KeyFor(c, config.RAR, bench, opt) }()},
+		{"bench kernels", func() CellKey {
+			b := bench
+			b.Kernels = append([]trace.Kernel{}, b.Kernels...)
+			b.Kernels[0].Iterations++
+			return KeyFor(cfg, config.RAR, b, opt)
+		}()},
+	}
+	for _, m := range mut {
+		if m.key == base {
+			t.Errorf("changing %s must change the cell key", m.name)
+		}
+	}
+
+	// Same name, different content: the hash must still separate them.
+	c2 := cfg
+	c2.IQ++
+	if KeyFor(c2, config.RAR, bench, opt) == base {
+		t.Error("configs sharing a name but differing in content must not collide")
+	}
+}
+
+// TestEngineSingleflight hammers one cell from many goroutines: exactly
+// one simulation must run, everyone else waits for it. Run under -race
+// this also exercises the engine's locking.
+func TestEngineSingleflight(t *testing.T) {
+	var sims atomic.Int64
+	e := NewEngine()
+	e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+		sims.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the in-flight window
+		return core.Stats{Cycles: 123, Committed: o.Instructions}, nil
+	}
+	cfg := config.Baseline()
+	bench := twoBenches(t)[0]
+	opt := smallOpt()
+
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := e.Run(cfg, config.RAR, bench, opt)
+			if err != nil || st.Cycles != 123 {
+				t.Errorf("run: %v %d", err, st.Cycles)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := sims.Load(); n != 1 {
+		t.Errorf("simulated %d times, want 1", n)
+	}
+	m := e.Metrics()
+	if m.Simulated != 1 || m.Hits != callers-1 {
+		t.Errorf("metrics = %+v, want 1 simulated / %d hits", m, callers-1)
+	}
+}
+
+// TestEnginePersistence: a second engine over the same directory must
+// warm-start from disk; a config change must miss.
+func TestEnginePersistence(t *testing.T) {
+	dir := t.TempDir()
+	cores := []config.Core{config.Baseline()}
+	schemes := []config.Scheme{config.OoO}
+	benches := twoBenches(t)[:1]
+	opt := smallOpt()
+
+	e1, err := NewPersistentEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e1.CacheDir(), "v-"+SchemaHash()) {
+		t.Errorf("cache dir %q not schema-versioned", e1.CacheDir())
+	}
+	rs1, err := e1.RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(e1.CacheDir())
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %d (%v), want 1", len(files), err)
+	}
+
+	e2, err := NewPersistentEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := e2.RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e2.Metrics()
+	if m.Simulated != 0 || m.DiskHits != 1 {
+		t.Errorf("warm start: simulated=%d diskHits=%d, want 0/1", m.Simulated, m.DiskHits)
+	}
+	if !reflect.DeepEqual(rs1.cells, rs2.cells) {
+		t.Error("disk-loaded cells differ from simulated ones")
+	}
+
+	// A different seed must not be served by the persisted cell.
+	opt2 := opt
+	opt2.Seed++
+	if _, err := e2.RunMatrix(cores, schemes, benches, opt2); err != nil {
+		t.Fatal(err)
+	}
+	if m := e2.Metrics(); m.Simulated != 1 {
+		t.Errorf("changed seed: simulated=%d, want 1", m.Simulated)
+	}
+
+	// A corrupt cache file is a plain miss, never an error.
+	e3, err := NewPersistentEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(e3.cellPath(KeyFor(cores[0], schemes[0], benches[0], opt)), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e3.RunMatrix(cores, schemes, benches, opt); err != nil {
+		t.Fatal(err)
+	}
+	if m := e3.Metrics(); m.Simulated != 1 || m.DiskHits != 0 {
+		t.Errorf("corrupt entry: simulated=%d diskHits=%d, want 1/0", m.Simulated, m.DiskHits)
+	}
+}
+
+// TestRunMatrixFailuresAreNotStored: a failed cell must neither appear
+// in any result set nor poison the memo cache — a retry simulates it
+// again.
+func TestRunMatrixFailuresAreNotStored(t *testing.T) {
+	fail := atomic.Bool{}
+	fail.Store(true)
+	e := NewEngine()
+	e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+		if s.Name == "RAR" && fail.Load() {
+			return core.Stats{}, errors.New("boom")
+		}
+		return core.Stats{Cycles: 7, Committed: o.Instructions}, nil
+	}
+	cores := []config.Core{config.Baseline()}
+	schemes := []config.Scheme{config.OoO, config.RAR}
+	benches := twoBenches(t)[:1]
+	opt := smallOpt()
+	opt.Parallelism = 1 // deterministic scheduling: OoO first, then RAR
+
+	rs, err := e.RunMatrix(cores, schemes, benches, opt)
+	if rs != nil || err == nil {
+		t.Fatalf("rs=%v err=%v, want nil set and an error", rs, err)
+	}
+	if !strings.Contains(err.Error(), "baseline/RAR/"+benches[0].Name) {
+		t.Errorf("error %q does not name the failed cell", err)
+	}
+	if m := e.Metrics(); m.Errors != 1 || m.Unique != 1 {
+		t.Errorf("metrics after failure = %+v, want 1 error and only the OoO cell cached", m)
+	}
+
+	// The failure is not memoized: clearing the fault and retrying works,
+	// reusing the successful cell and re-simulating the failed one.
+	fail.Store(false)
+	rs, err = e.RunMatrix(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.Stats("baseline", "RAR", benches[0].Name); !ok {
+		t.Error("retried cell missing from the result set")
+	}
+	if m := e.Metrics(); m.Simulated != 2 {
+		t.Errorf("simulated=%d after retry, want 2", m.Simulated)
+	}
+}
+
+// TestRunMatrixNamesEveryFailedCell: when several in-flight cells fail,
+// the wrapped error must name each of them, not just the first.
+func TestRunMatrixNamesEveryFailedCell(t *testing.T) {
+	benches := twoBenches(t)
+	// Both cells start before either finishes, so both failures are
+	// in-flight when the first error lands.
+	var barrier sync.WaitGroup
+	barrier.Add(len(benches))
+	e := NewEngine()
+	e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+		barrier.Done()
+		barrier.Wait()
+		return core.Stats{}, fmt.Errorf("fault in %s", b.Name)
+	}
+	opt := smallOpt()
+	opt.Parallelism = len(benches)
+	_, err := e.RunMatrix([]config.Core{config.Baseline()}, []config.Scheme{config.OoO}, benches, opt)
+	if err == nil {
+		t.Fatal("matrix with failing cells must error")
+	}
+	for _, b := range benches {
+		if !strings.Contains(err.Error(), "baseline/OoO/"+b.Name) {
+			t.Errorf("error %q does not name failed cell %s", err, b.Name)
+		}
+	}
+	if !strings.Contains(err.Error(), "2 cell(s) failed") {
+		t.Errorf("error %q does not count the failures", err)
+	}
+}
+
+// TestSchemaHashStable: the schema hash is deterministic within a build.
+func TestSchemaHashStable(t *testing.T) {
+	if SchemaHash() != SchemaHash() {
+		t.Error("schema hash must be deterministic")
+	}
+	if len(SchemaHash()) != 16 {
+		t.Errorf("schema hash %q not 16 hex chars", SchemaHash())
+	}
+}

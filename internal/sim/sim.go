@@ -6,8 +6,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"rarsim/internal/ace"
 	"rarsim/internal/config"
@@ -57,68 +55,13 @@ func Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, opt Optio
 }
 
 // RunMatrix simulates every (core, scheme, benchmark) combination in
-// parallel and returns the result set. The first simulation error aborts
-// the matrix.
+// parallel and returns the result set. Identical cells within the matrix
+// are simulated once. Cells are only stored on success; an error aborts
+// the matrix and the returned error names every cell that failed. To
+// memoize cells *across* matrices, share one Engine and call its
+// RunMatrix method instead.
 func RunMatrix(cores []config.Core, schemes []config.Scheme, benches []trace.Benchmark, opt Options) (*ResultSet, error) {
-	type job struct {
-		cfg    config.Core
-		scheme config.Scheme
-		bench  trace.Benchmark
-	}
-	var jobs []job
-	for _, cfg := range cores {
-		for _, s := range schemes {
-			for _, b := range benches {
-				jobs = append(jobs, job{cfg, s, b})
-			}
-		}
-	}
-
-	par := opt.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(jobs) {
-		par = len(jobs)
-	}
-
-	rs := &ResultSet{cells: make(map[Key]core.Stats, len(jobs))}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		next     int
-	)
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			if firstErr != nil || next >= len(jobs) {
-				mu.Unlock()
-				return
-			}
-			j := jobs[next]
-			next++
-			mu.Unlock()
-
-			st, err := Run(j.cfg, j.scheme, j.bench, opt)
-			mu.Lock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("sim: %s/%s/%s: %w", j.cfg.Name, j.scheme.Name, j.bench.Name, err)
-			}
-			rs.cells[Key{j.cfg.Name, j.scheme.Name, j.bench.Name}] = st
-			mu.Unlock()
-		}
-	}
-	wg.Add(par)
-	for i := 0; i < par; i++ {
-		go worker()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return rs, nil
+	return NewEngine().RunMatrix(cores, schemes, benches, opt)
 }
 
 // Stats returns the raw statistics of one cell.

@@ -26,6 +26,8 @@
 package rarsim
 
 import (
+	"sync"
+
 	"rarsim/internal/ace"
 	"rarsim/internal/config"
 	"rarsim/internal/core"
@@ -124,9 +126,53 @@ func Run(cfg CoreConfig, scheme Scheme, benchName string, opt Options) (Stats, e
 }
 
 // RunMatrix simulates every combination in parallel. Include the OoO
-// scheme if you want normalised metrics from the ResultSet.
+// scheme if you want normalised metrics from the ResultSet. Identical
+// cells within the matrix are simulated once; nothing is shared across
+// calls — see RunMatrixCached and Engine for cross-call memoization.
 func RunMatrix(cores []CoreConfig, schemes []Scheme, benches []Benchmark, opt Options) (*ResultSet, error) {
 	return sim.RunMatrix(cores, schemes, benches, opt)
+}
+
+// Engine is a concurrency-safe memoizing simulation engine: each unique
+// (core config, scheme, benchmark, options) cell is simulated at most
+// once per engine, across any number of Run/RunMatrix calls. See
+// NewEngine and NewPersistentEngine.
+type Engine = sim.Engine
+
+// EngineMetrics snapshots an Engine's hit/miss/sim-time counters.
+type EngineMetrics = sim.Metrics
+
+// CellProgress describes one completed cell lookup; see Engine.OnCell.
+type CellProgress = sim.CellProgress
+
+// CellKey is the full identity of a simulation cell, hashing the
+// complete core configuration, scheme and benchmark definition alongside
+// the simulation options.
+type CellKey = sim.CellKey
+
+// NewEngine returns a memory-only memoizing engine.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewPersistentEngine returns an engine that also persists every
+// simulated cell as JSON under dir (versioned by a schema hash, so
+// entries from incompatible builds self-invalidate) and warm-starts from
+// entries found there.
+func NewPersistentEngine(dir string) (*Engine, error) { return sim.NewPersistentEngine(dir) }
+
+// defaultEngine backs RunMatrixCached: one process-wide memo shared by
+// every caller that does not manage its own Engine.
+var (
+	defaultEngine     *Engine
+	defaultEngineOnce sync.Once
+)
+
+// RunMatrixCached is RunMatrix through a process-wide shared Engine:
+// cells already simulated by any earlier RunMatrixCached call — in this
+// or any other matrix shape — are cache hits. Use a dedicated Engine for
+// isolation or on-disk persistence.
+func RunMatrixCached(cores []CoreConfig, schemes []Scheme, benches []Benchmark, opt Options) (*ResultSet, error) {
+	defaultEngineOnce.Do(func() { defaultEngine = sim.NewEngine() })
+	return defaultEngine.RunMatrix(cores, schemes, benches, opt)
 }
 
 // InjectionCampaign configures a statistical fault-injection run: random

@@ -48,6 +48,53 @@ func TestPublicMatrix(t *testing.T) {
 	}
 }
 
+// TestRunMatrixCached exercises the shared-engine facade: a repeated
+// matrix is served from cache, and a dedicated persistent engine
+// warm-starts from disk.
+func TestRunMatrixCached(t *testing.T) {
+	opt := rarsim.Options{Instructions: 20_000, Warmup: 5_000, Seed: 7}
+	b, err := rarsim.BenchmarkByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := []rarsim.CoreConfig{rarsim.BaselineConfig()}
+	schemes := []rarsim.Scheme{rarsim.OoO, rarsim.RAR}
+	benches := []rarsim.Benchmark{b}
+
+	rs1, err := rarsim.RunMatrixCached(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := rarsim.RunMatrixCached(cores, schemes, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := rs1.Stats("baseline", "RAR", "libquantum")
+	s2, _ := rs2.Stats("baseline", "RAR", "libquantum")
+	if s1 != s2 {
+		t.Error("cached matrix differs from first run")
+	}
+
+	dir := filepath.Join(t.TempDir(), "cache")
+	eng, err := rarsim.NewPersistentEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunMatrix(cores, schemes, benches, opt); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := rarsim.NewPersistentEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.RunMatrix(cores, schemes, benches, opt); err != nil {
+		t.Fatal(err)
+	}
+	if m := warm.Metrics(); m.Simulated != 0 || m.DiskHits != uint64(len(schemes)) {
+		t.Errorf("warm start metrics = %+v, want 0 simulated / %d disk hits", m, len(schemes))
+	}
+}
+
 func TestSuiteListings(t *testing.T) {
 	if len(rarsim.Benchmarks()) != len(rarsim.MemoryIntensiveBenchmarks())+len(rarsim.ComputeIntensiveBenchmarks()) {
 		t.Error("suite split inconsistent")
