@@ -1,15 +1,19 @@
-# Developer workflow. `make ci` is what every PR must pass: vet, build,
-# and the full test suite under the race detector — the memoizing
-# simulation engine is concurrency-heavy, so -race is not optional.
+# Developer workflow. `make ci` is what every PR must pass: vet, the
+# rarlint static analyzer, build, and the full test suite under the race
+# detector — the memoizing simulation engine is concurrency-heavy, so
+# -race is not optional.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench clean
+.PHONY: ci vet lint build test race bench clean
 
-ci: vet build race
+ci: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/rarlint ./...
 
 build:
 	$(GO) build ./...

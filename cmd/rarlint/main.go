@@ -1,0 +1,31 @@
+// Command rarlint statically enforces the simulator's correctness
+// contracts: determinism of everything feeding the memoized simulation
+// cache, hygiene of the statistics that become report columns, coverage
+// of every config knob the sweeps claim to vary, and error-return
+// discipline. Pure standard library — go/parser, go/ast, go/types — with
+// no external dependencies.
+//
+// Usage:
+//
+//	rarlint ./...                 # whole module, all checks (CI mode)
+//	rarlint -checks determinism   # one check
+//	rarlint path/to/module        # another module root (e.g. a corpus)
+//
+// Exit status: 0 clean, 1 findings, 2 load error. Audited exceptions are
+// annotated in place:
+//
+//	start := time.Now() //rarlint:allow determinism host-side timing
+//
+// See README.md ("Static analysis: rarlint") and DESIGN.md ("Determinism
+// contract & static analysis").
+package main
+
+import (
+	"os"
+
+	"rarsim/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

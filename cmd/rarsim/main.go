@@ -89,8 +89,8 @@ func main() {
 		return
 	}
 	if !*jsonOut {
-		fmt.Printf("%-12s %-10s %8s %8s %8s %8s %7s %9s %12s\n",
-			"bench", "scheme", "IPC", "MPKI", "MLP", "mispred", "RA/flsh", "AVF", "ABC")
+		fmt.Printf("%-12s %-10s %8s %8s %8s %8s %7s %9s %12s %7s %8s\n",
+			"bench", "scheme", "IPC", "MPKI", "MLP", "mispred", "RA/flsh", "AVF", "ABC", "ld/st", "sim-ms")
 	}
 	eng := rarsim.NewEngine()
 	if *cacheDir != "" {
@@ -107,9 +107,13 @@ func main() {
 				continue
 			}
 			events := st.RunaheadEntries + st.Flushes
-			fmt.Printf("%-12s %-10s %8.3f %8.2f %8.2f %8.4f %7d %9.5f %12d\n",
+			// Simulated wall-clock time from the core frequency: the one
+			// place cycle counts become seconds (absolute FIT/MTTF scale).
+			simMS := float64(st.Cycles) / (cfg.FrequencyGHz * 1e6)
+			ldst := float64(st.CommittedLoads) / float64(max(st.CommittedStores, 1))
+			fmt.Printf("%-12s %-10s %8.3f %8.2f %8.2f %8.4f %7d %9.5f %12d %7.2f %8.2f\n",
 				b.Name, s.Name, st.IPC(), st.MPKI(), st.Mem.MLP(),
-				st.MispredictRate(), events, st.AVF(), st.TotalABC)
+				st.MispredictRate(), events, st.AVF(), st.TotalABC, ldst, simMS)
 		}
 	}
 }

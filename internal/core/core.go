@@ -316,8 +316,8 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 			lastCommitCycle = c.cycle
 		} else if c.cycle-lastCommitCycle > watchdogWindow {
 			return c.s, fmt.Errorf(
-				"core: deadlock: no commit for %d cycles at cycle %d (bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d)",
-				watchdogWindow, c.cycle, c.s.Benchmark, c.s.Scheme,
+				"core: deadlock: no commit for %d cycles at cycle %d (core=%s bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d)",
+				watchdogWindow, c.cycle, c.s.CoreName, c.s.Benchmark, c.s.Scheme,
 				c.robCount, len(c.iq), len(c.frontQ), c.mode)
 		}
 	}

@@ -75,10 +75,18 @@ func AblationMSHR(c Config) error {
 		return err
 	}
 	t := report.NewTable("Ablation: L1D MSHR count (memory-intensive averages)",
-		"config", "OoO MLP", "PRE IPC", "RAR IPC", "RAR MTTF")
+		"config", "OoO MLP", "OoO stall/kinst", "PRE IPC", "RAR IPC", "RAR MTTF")
 	for _, core := range cores {
+		// MSHR-full stalls per kilo-instruction on the baseline: the
+		// direct evidence that the swept knob is the binding resource.
+		var stalls []float64
+		for _, b := range memNames() {
+			st := rs.MustStats(core.Name, config.OoO.Name, b)
+			stalls = append(stalls, 1000*metrics.Ratio(float64(st.Mem.MSHRFullStalls), float64(st.Committed)))
+		}
 		t.AddRow(core.Name,
 			report.F(rs.MeanMLP(core.Name, config.OoO.Name, memNames())),
+			fmt.Sprintf("%.1f", metrics.ArithMean(stalls)),
 			report.F(rs.MeanIPCNorm(core.Name, config.PRE.Name, memNames())),
 			report.F(rs.MeanIPCNorm(core.Name, config.RAR.Name, memNames())),
 			report.X(rs.MeanMTTF(core.Name, config.RAR.Name, memNames())))
@@ -250,20 +258,24 @@ func AblationEnergy(c Config) error {
 	}
 	model := energy.DefaultModel()
 	t := report.NewTable("Ablation: event-energy model (memory-intensive averages)",
-		"scheme", "energy vs OoO", "EPI pJ", "fetches/commit")
+		"scheme", "energy vs OoO", "EPI pJ", "fetches/commit", "wrong-path%")
 	for _, s := range schemes {
-		var ovs, epis, fpc []float64
+		var ovs, epis, fpc, wp []float64
 		for _, b := range memNames() {
 			ooo := rs.MustStats(base, config.OoO.Name, b)
 			st := rs.MustStats(base, s.Name, b)
 			ovs = append(ovs, model.Overhead(ooo, st))
 			epis = append(epis, model.EPI(st))
 			fpc = append(fpc, float64(st.TotalFetched)/float64(st.Committed))
+			// Share of fetch bandwidth burnt on wrong-path work: the
+			// part of the energy overhead speculation alone explains.
+			wp = append(wp, 100*metrics.Ratio(float64(st.WrongPathFetched), float64(st.TotalFetched)))
 		}
 		t.AddRow(s.Name,
 			report.F(metrics.ArithMean(ovs)),
 			fmt.Sprintf("%.0f", metrics.ArithMean(epis)),
-			report.F(metrics.ArithMean(fpc)))
+			report.F(metrics.ArithMean(fpc)),
+			fmt.Sprintf("%.1f%%", metrics.ArithMean(wp)))
 	}
 	return c.emit(t, "ablation_energy")
 }

@@ -54,9 +54,11 @@ func (c Config) emit(t *report.Table, csvName string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	t.WriteCSV(f)
-	return nil
+	// The close error is the only signal that the CSV never fully
+	// reached disk (ENOSPC, quota); a silently truncated table is
+	// exactly the data-integrity class this repo lints against.
+	return f.Close()
 }
 
 // All runs every experiment in paper order, sharing one memoizing

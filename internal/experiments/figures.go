@@ -104,23 +104,32 @@ func Fig5(c Config) error {
 		return err
 	}
 	t := report.NewTable("Figure 5: ACE attribution on the baseline OoO core",
-		"benchmark", "total Gbc", "head-blocked", "full-ROB stall", "head%", "full%")
-	var hbPct, fsPct []float64
+		"benchmark", "total Gbc", "head-blocked", "full-ROB stall", "head%", "full%", "head-cyc%", "full-cyc%")
+	var hbPct, fsPct, hbCyc, fsCyc []float64
 	for _, b := range memNames() {
 		st := rs.MustStats(base, config.OoO.Name, b)
 		hb := 100 * metrics.Ratio(float64(st.HeadBlockedABC), float64(st.TotalABC))
 		fs := 100 * metrics.Ratio(float64(st.FullStallABC), float64(st.TotalABC))
+		// The cycle-side attribution alongside the bit-side one: what
+		// fraction of runtime the head was blocked / the ROB full.
+		hc := 100 * metrics.Ratio(float64(st.HeadBlockedCycles), float64(st.Cycles))
+		fc := 100 * metrics.Ratio(float64(st.FullStallCycles), float64(st.Cycles))
 		hbPct, fsPct = append(hbPct, hb), append(fsPct, fs)
+		hbCyc, fsCyc = append(hbCyc, hc), append(fsCyc, fc)
 		t.AddRow(b,
 			fmt.Sprintf("%.2f", float64(st.TotalABC)/1e9),
 			fmt.Sprintf("%.2f", float64(st.HeadBlockedABC)/1e9),
 			fmt.Sprintf("%.2f", float64(st.FullStallABC)/1e9),
 			fmt.Sprintf("%.1f%%", hb),
-			fmt.Sprintf("%.1f%%", fs))
+			fmt.Sprintf("%.1f%%", fs),
+			fmt.Sprintf("%.1f%%", hc),
+			fmt.Sprintf("%.1f%%", fc))
 	}
 	t.AddRow("average", "", "", "",
 		fmt.Sprintf("%.1f%%", metrics.ArithMean(hbPct)),
-		fmt.Sprintf("%.1f%%", metrics.ArithMean(fsPct)))
+		fmt.Sprintf("%.1f%%", metrics.ArithMean(fsPct)),
+		fmt.Sprintf("%.1f%%", metrics.ArithMean(hbCyc)),
+		fmt.Sprintf("%.1f%%", metrics.ArithMean(fsCyc)))
 	return c.emit(t, "fig5")
 }
 
@@ -237,18 +246,41 @@ func Fig9(c Config) error {
 		return float64(total)
 	}
 	preTrig := triggers(config.PRE.Name)
+	// Per-variant runahead behaviour: fraction of cycles spent in
+	// runahead mode, uops executed per trigger, and the share of
+	// runahead uops filtered or INV-dropped — the lean-vs-full execution
+	// trade-off of Table IV, visible directly.
+	behaviour := func(scheme string) (raCyc, perTrig, dropped float64) {
+		var cyc, ra, exec, drop, trig uint64
+		for _, b := range names {
+			st := rs.MustStats(base, scheme, b)
+			cyc += st.Cycles
+			ra += st.RunaheadCycles
+			exec += st.RunaheadExecuted
+			drop += st.RunaheadDropped
+			trig += st.RunaheadEntries + st.Flushes
+		}
+		raCyc = 100 * metrics.Ratio(float64(ra), float64(cyc))
+		perTrig = metrics.Ratio(float64(exec), float64(trig))
+		dropped = 100 * metrics.Ratio(float64(drop), float64(exec+drop))
+		return raCyc, perTrig, dropped
+	}
 	t := report.NewTable("Figure 9: runahead design space, averages over memory-intensive benchmarks",
-		"scheme", "MTTF", "ABC", "IPC", "triggers/PRE")
+		"scheme", "MTTF", "ABC", "IPC", "triggers/PRE", "RA-cyc%", "uops/trigger", "dropped%")
 	for _, s := range schemes[1:] {
 		ratio := "-"
 		if preTrig > 0 {
 			ratio = fmt.Sprintf("%.1fx", triggers(s.Name)/preTrig)
 		}
+		raCyc, perTrig, dropped := behaviour(s.Name)
 		t.AddRow(s.Name,
 			report.X(rs.MeanMTTF(base, s.Name, names)),
 			report.F(rs.MeanABCNorm(base, s.Name, names)),
 			report.F(rs.MeanIPCNorm(base, s.Name, names)),
-			ratio)
+			ratio,
+			fmt.Sprintf("%.1f%%", raCyc),
+			fmt.Sprintf("%.0f", perTrig),
+			fmt.Sprintf("%.1f%%", dropped))
 	}
 	return c.emit(t, "fig9")
 }
@@ -295,21 +327,23 @@ func Fig11(c Config) error {
 		return err
 	}
 	t := report.NewTable("Figure 11: hardware prefetching, normalised to no-prefetch OoO (memory-intensive)",
-		"config", "scheme", "MTTF", "ABC", "IPC")
+		"config", "scheme", "MTTF", "ABC", "IPC", "pf/kinst")
 	for _, core := range cores {
 		for _, s := range schemes {
-			var mttfs, abcs, ipcs []float64
+			var mttfs, abcs, ipcs, pfs []float64
 			for _, b := range memNames() {
 				ref := rs.MustStats(cores[0].Name, config.OoO.Name, b)
 				st := rs.MustStats(core.Name, s.Name, b)
 				mttfs = append(mttfs, ace.MTTFRel(ref.TotalABC, ref.Cycles, st.TotalABC, st.Cycles))
 				abcs = append(abcs, metrics.Ratio(float64(st.TotalABC), float64(ref.TotalABC)))
 				ipcs = append(ipcs, metrics.Ratio(st.IPC(), ref.IPC()))
+				pfs = append(pfs, 1000*metrics.Ratio(float64(st.Mem.PrefetchIssued), float64(st.Committed)))
 			}
 			t.AddRow(core.Name, s.Name,
 				report.X(metrics.GeoMean(mttfs)),
 				report.F(metrics.ArithMean(abcs)),
-				report.F(metrics.HarmMean(ipcs)))
+				report.F(metrics.HarmMean(ipcs)),
+				fmt.Sprintf("%.1f", metrics.ArithMean(pfs)))
 		}
 	}
 	return c.emit(t, "fig11")

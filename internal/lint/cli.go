@@ -1,0 +1,111 @@
+package lint
+
+// Command-line driver shared by cmd/rarlint and the tests, so the exact
+// exit-code behaviour CI depends on is itself testable.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage or load/type-check failure
+)
+
+// Main runs rarlint with the given arguments (excluding the program
+// name) and returns its exit code. Findings go to stdout, errors to
+// stderr.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rarlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rarlint [-checks list] [module-dir | ./...]\n\n"+
+			"Static analysis of a Go module's simulator contracts. Checks:\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nSuppress an audited finding in place with "+
+			"`//rarlint:allow <check> <reason>`\non the flagged line or the line above it.\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		// "./..." is accepted for go-tool muscle memory: rarlint always
+		// analyzes the whole module containing the named directory.
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, string(filepath.Separator))
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	default:
+		fs.Usage()
+		return ExitError
+	}
+
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "rarlint:", err)
+		return ExitError
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "rarlint:", err)
+		return ExitError
+	}
+
+	var names []string
+	if *checks != "" {
+		names = strings.Split(*checks, ",")
+	}
+	diags, err := Run(mod, names)
+	if err != nil {
+		fmt.Fprintln(stderr, "rarlint:", err)
+		return ExitError
+	}
+	if len(diags) == 0 {
+		return ExitClean
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	fmt.Fprintf(stderr, "rarlint: %d finding(s)\n", len(diags))
+	return ExitFindings
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMainExitCodes pins the exit-code contract CI depends on:
+// 0 clean, 1 findings, 2 load/usage error.
+func TestMainExitCodes(t *testing.T) {
+	t.Run("findings", func(t *testing.T) {
+		var out, errb strings.Builder
+		code := Main([]string{filepath.Join("testdata", "errdiscipline")}, &out, &errb)
+		if code != ExitFindings {
+			t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, ExitFindings, out.String(), errb.String())
+		}
+		if !strings.Contains(out.String(), "errdiscipline") {
+			t.Errorf("stdout lacks a finding line:\n%s", out.String())
+		}
+		if !strings.Contains(errb.String(), "finding(s)") {
+			t.Errorf("stderr lacks the summary line:\n%s", errb.String())
+		}
+	})
+
+	t.Run("dotdotdot", func(t *testing.T) {
+		// go-tool muscle memory: `rarlint dir/...` analyzes dir's module.
+		var out, errb strings.Builder
+		code := Main([]string{filepath.Join("testdata", "errdiscipline") + "/..."}, &out, &errb)
+		if code != ExitFindings {
+			t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitFindings, errb.String())
+		}
+	})
+
+	t.Run("checks-filter", func(t *testing.T) {
+		// The determinism corpus has no errdiscipline findings, so
+		// filtering to errdiscipline comes back clean.
+		var out, errb strings.Builder
+		code := Main([]string{"-checks", "errdiscipline", filepath.Join("testdata", "determinism")}, &out, &errb)
+		if code != ExitClean {
+			t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, ExitClean, out.String(), errb.String())
+		}
+	})
+
+	t.Run("unknown-check", func(t *testing.T) {
+		var out, errb strings.Builder
+		code := Main([]string{"-checks", "nosuch", filepath.Join("testdata", "errdiscipline")}, &out, &errb)
+		if code != ExitError {
+			t.Fatalf("exit = %d, want %d", code, ExitError)
+		}
+		if !strings.Contains(errb.String(), "unknown check") {
+			t.Errorf("stderr lacks the unknown-check error:\n%s", errb.String())
+		}
+	})
+
+	t.Run("no-module", func(t *testing.T) {
+		var out, errb strings.Builder
+		code := Main([]string{t.TempDir()}, &out, &errb)
+		if code != ExitError {
+			t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitError, errb.String())
+		}
+	})
+}
+
+// TestRepoIsClean is the acceptance regression: rarlint on this
+// repository itself must exit 0 — every real finding is either fixed or
+// carries an audited allow directive.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb strings.Builder
+	code := Main([]string{filepath.Join("..", "..")}, &out, &errb)
+	if code != ExitClean {
+		t.Fatalf("rarlint on the repo: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+// The errdiscipline analyzer flags discarded error returns in the
+// module's internal packages: a call used as a bare statement (or
+// deferred, or spawned with go) whose callee returns an error. PR 1's
+// RunMatrix masked multi-cell failures precisely because error values
+// went missing on the way up; this check keeps the plumbing honest.
+//
+// Deliberately out of scope:
+//   - explicit discards (`_ = f()`): visible and greppable, the author
+//     made a decision;
+//   - fmt printers: their error returns mirror the writer's and the
+//     write targets here are stdout/stderr/strings/hashes;
+//   - writers that are documented to never fail: strings.Builder,
+//     bytes.Buffer and the hash.Hash family.
+//
+// Anything else that is genuinely best-effort gets an allow directive
+// with the reason on record.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func errDiscipline(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range m.Pkgs {
+		if !m.IsInternal(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				var how string
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+					how = "call"
+				case *ast.DeferStmt:
+					call, how = n.Call, "deferred call"
+				case *ast.GoStmt:
+					call, how = n.Call, "go call"
+				default:
+					return true
+				}
+				if call == nil || !returnsError(p, call) || exemptErrCall(p, call) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   m.Fset.Position(call.Pos()),
+					Check: "errdiscipline",
+					Message: fmt.Sprintf("%s discards the error returned by %s (handle it, assign to _, or rarlint:allow with a reason)",
+						how, types.ExprString(call.Fun)),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether the call's result tuple includes error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false // conversion or builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// neverFails lists receiver types whose Write-family errors are
+// documented to always be nil.
+var neverFails = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+// exemptErrCall reports whether the discarded error is exempt: fmt
+// printers and never-failing writers.
+func exemptErrCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return neverFails[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}

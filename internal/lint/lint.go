@@ -1,0 +1,141 @@
+// Package lint implements rarlint, a repo-specific static analyzer that
+// enforces the simulator's correctness contracts: determinism of
+// everything feeding the memoized simulation cache, hygiene of the
+// statistics structs that become report columns, coverage of every
+// config knob the experiment sweeps claim to vary, and error-return
+// discipline in the simulator packages.
+//
+// The analyses are whole-module: rarlint loads and type-checks every
+// non-test package of the module with go/parser and go/types (standard
+// library only — no external dependencies), then runs each analyzer over
+// the typed ASTs. Findings carry file:line:column positions; audited
+// exceptions are suppressed in place with
+//
+//	//rarlint:allow <check> <reason>
+//
+// on the flagged line or the line directly above it. rarlint complements
+// the *runtime* invariant auditor in internal/core/audit.go: the auditor
+// checks microarchitectural state while a simulation runs, rarlint proves
+// source-level contracts before anything runs at all.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Check names the analyzer that produced it.
+	Check string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// An Analyzer is one named check over a loaded module.
+type Analyzer struct {
+	// Name is the check name used in -checks and in allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the analyzer's findings on the module.
+	Run func(m *Module) []Diagnostic
+}
+
+// Analyzers returns every rarlint check, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		{
+			Name: "determinism",
+			Doc:  "wall-clock, global math/rand and order-dependent map iteration in cache-feeding simulator packages",
+			Run:  determinism,
+		},
+		{
+			Name: "statshygiene",
+			Doc:  "Stats/Metrics fields that are written but never reported, or reported but never written",
+			Run:  statsHygiene,
+		},
+		{
+			Name: "configcoverage",
+			Doc:  "config knobs declared in internal/config but never read by the simulator",
+			Run:  configCoverage,
+		},
+		{
+			Name: "errdiscipline",
+			Doc:  "discarded error returns in non-test internal packages",
+			Run:  errDiscipline,
+		},
+	}
+}
+
+// AnalyzerNames returns the names of every check.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run loads nothing itself: it runs the named checks (all of them when
+// checks is empty) over an already loaded module, applies //rarlint:allow
+// suppressions, and returns the surviving findings sorted by position.
+func Run(m *Module, checks []string) ([]Diagnostic, error) {
+	enabled := map[string]bool{}
+	for _, c := range checks {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !knownCheck(c) {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", c, strings.Join(AnalyzerNames(), ", "))
+		}
+		enabled[c] = true
+	}
+
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		diags = append(diags, a.Run(m)...)
+	}
+	diags = append(diags, m.checkAllowDirectives()...)
+	diags = m.suppress(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// knownCheck reports whether name is a registered analyzer.
+func knownCheck(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

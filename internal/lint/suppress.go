@@ -1,0 +1,110 @@
+package lint
+
+// Suppression directives. An audited exception is annotated in place:
+//
+//	start := time.Now() //rarlint:allow determinism host-side timing only
+//
+// or, on the line directly above the flagged one:
+//
+//	//rarlint:allow errdiscipline best-effort cleanup
+//	os.Remove(tmp.Name())
+//
+// A directive names exactly one check and must carry a reason; rarlint
+// reports malformed directives as findings of the "lint" pseudo-check so
+// a suppression can never silently rot into a blanket waiver.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allow is one parsed //rarlint:allow directive.
+type allow struct {
+	check  string
+	reason string
+}
+
+const allowPrefix = "//rarlint:allow"
+
+// collectAllows records every rarlint directive in f, keyed by filename
+// and line, for suppression matching and directive validation.
+func (m *Module) collectAllows(filename string, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			fields := strings.Fields(rest)
+			a := allow{}
+			if len(fields) > 0 {
+				a.check = fields[0]
+			}
+			if len(fields) > 1 {
+				a.reason = strings.Join(fields[1:], " ")
+			}
+			line := m.Fset.Position(c.Pos()).Line
+			byLine := m.allows[filename]
+			if byLine == nil {
+				byLine = map[int][]allow{}
+				m.allows[filename] = byLine
+			}
+			byLine[line] = append(byLine[line], a)
+		}
+	}
+}
+
+// checkAllowDirectives validates every collected directive: the check
+// name must exist and a reason is mandatory. Violations surface as
+// "lint" findings (which cannot themselves be allow-suppressed), and
+// directives are validated even when -checks disables their check — a
+// typo must not hide behind a filter.
+func (m *Module) checkAllowDirectives() []Diagnostic {
+	var diags []Diagnostic
+	for filename, byLine := range m.allows {
+		for line, allows := range byLine {
+			for _, a := range allows {
+				pos := positionAt(filename, line)
+				switch {
+				case a.check == "":
+					diags = append(diags, Diagnostic{Pos: pos, Check: "lint",
+						Message: "malformed rarlint:allow: missing check name"})
+				case !knownCheck(a.check):
+					diags = append(diags, Diagnostic{Pos: pos, Check: "lint",
+						Message: "malformed rarlint:allow: unknown check " + a.check})
+				case a.reason == "":
+					diags = append(diags, Diagnostic{Pos: pos, Check: "lint",
+						Message: "rarlint:allow " + a.check + " needs a reason"})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// suppress drops diagnostics that have a well-formed matching allow
+// directive on their own line or the line directly above.
+func (m *Module) suppress(diags []Diagnostic) []Diagnostic {
+	matches := func(d Diagnostic, line int) bool {
+		for _, a := range m.allows[d.Pos.Filename][line] {
+			if a.check == d.Check && a.reason != "" {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Check != "lint" && (matches(d, d.Pos.Line) || matches(d, d.Pos.Line-1)) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// positionAt fabricates a position for directive-level diagnostics.
+func positionAt(filename string, line int) token.Position {
+	return token.Position{Filename: filename, Line: line, Column: 1}
+}

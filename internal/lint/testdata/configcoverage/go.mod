@@ -1,0 +1,3 @@
+module confcorpus
+
+go 1.24

@@ -1,0 +1,32 @@
+// Package config declares the corpus sweep knobs. Every field of every
+// struct here must be read somewhere in the module: a knob the
+// simulator never consumes turns a sweep over it into a fiction.
+package config
+
+// Core is a swept configuration struct.
+type Core struct {
+	Width int // read directly by sim.Model: covered
+	ROB   int // read through a helper: covered
+	// Ignored is written by Default but consumed nowhere — constructor
+	// assignments are production, not consumption.
+	Ignored int //lintwant configcoverage
+	// Waived is declared ahead of its consumer; the directive keeps it
+	// with the reason on record.
+	//rarlint:allow configcoverage corpus example of a declared-ahead knob
+	Waived int
+	// Mem nests further knobs: reading cfg.Mem.L1 covers both the
+	// interior Mem component and the L1 leaf (countInner).
+	Mem MemConfig
+}
+
+// MemConfig is the nested knob group.
+type MemConfig struct {
+	L1      int
+	Unused2 int //lintwant configcoverage
+}
+
+// Default returns the baseline. Composite-literal keys do not cover a
+// field: they produce values, they never consume the knob.
+func Default() Core {
+	return Core{Width: 4, ROB: 192, Ignored: 7, Waived: 1, Mem: MemConfig{L1: 32, Unused2: 9}}
+}

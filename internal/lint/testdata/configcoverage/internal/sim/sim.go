@@ -1,0 +1,13 @@
+// Package sim is the consumer: a knob is covered once any read path in
+// the module touches it.
+package sim
+
+import "confcorpus/internal/config"
+
+// Model reads Width directly and L1 through the selector chain.
+func Model(cfg config.Core) int {
+	return cfg.Width + cfg.Mem.L1 + rob(cfg)
+}
+
+// rob covers ROB through a helper.
+func rob(cfg config.Core) int { return cfg.ROB }

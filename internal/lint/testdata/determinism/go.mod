@@ -1,0 +1,3 @@
+module detcorpus
+
+go 1.24

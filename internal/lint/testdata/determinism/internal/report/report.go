@@ -1,0 +1,22 @@
+// Package report is outside the determinism scope (not one of the
+// cache-feeding packages): map iteration is not checked here, but
+// wall-clock reads still are — the call checks are module-wide.
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+// Render iterates a map into output: NOT flagged outside the scoped
+// packages — rendering order here cannot poison the simulation cache.
+func Render(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Stamp reads the wall clock: flagged module-wide.
+func Stamp() time.Time {
+	return time.Now() //lintwant determinism
+}

@@ -1,0 +1,11 @@
+// Command tool shows the scope boundary: errdiscipline covers only
+// internal/ packages, so a discarded error here is not flagged.
+package main
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func main() {
+	fallible()
+}

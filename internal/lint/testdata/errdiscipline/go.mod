@@ -1,0 +1,3 @@
+module errcorpus
+
+go 1.24

@@ -1,0 +1,56 @@
+// Package work exercises the discarded-error check: internal packages
+// must handle, explicitly discard, or allow-annotate every error
+// return.
+package work
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, errors.New("boom") }
+
+func clean() {}
+
+// Discarded returns are flagged in all three statement forms.
+func discards(f *os.File) {
+	fallible()      //lintwant errdiscipline
+	multi()         //lintwant errdiscipline
+	defer f.Close() //lintwant errdiscipline
+	go fallible()   //lintwant errdiscipline
+}
+
+// Handled, explicitly discarded, and error-free calls are clean: an
+// explicit `_ =` is a visible, greppable decision.
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	clean()
+	_ = fallible()
+	_, err := multi()
+	return err
+}
+
+// fmt printers and never-failing writers (strings.Builder,
+// bytes.Buffer, the hash.Hash family) are exempt.
+func exempt(buf *bytes.Buffer) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "hello")
+	b.WriteString("x")
+	buf.WriteString("y")
+	crc32.NewIEEE().Write([]byte("z"))
+	fmt.Println(b.Len(), buf.Len())
+	return b.String()
+}
+
+// Best-effort cleanup with the reason on record is suppressed.
+func cleanup(name string) {
+	os.Remove(name) //rarlint:allow errdiscipline best-effort corpus cleanup
+}

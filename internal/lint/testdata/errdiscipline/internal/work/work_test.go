@@ -1,0 +1,9 @@
+// Test files are outside rarlint's scope: the loader never parses
+// _test.go, so this discarded error produces no finding.
+package work
+
+import "testing"
+
+func TestScope(t *testing.T) {
+	fallible()
+}

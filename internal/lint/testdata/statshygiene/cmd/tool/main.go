@@ -1,0 +1,21 @@
+// Command tool shows the audit boundary: a Stats type outside
+// internal/ is not audited, whatever its fields do.
+package main
+
+import (
+	"fmt"
+
+	"statcorpus/internal/core"
+	"statcorpus/internal/report"
+)
+
+// Stats here is NOT audited: only internal/ declarations are.
+type Stats struct {
+	NeverTouched int
+}
+
+func main() {
+	var st core.Stats
+	st.Tick()
+	fmt.Println(report.Line(st))
+}

@@ -1,0 +1,3 @@
+module statcorpus
+
+go 1.24

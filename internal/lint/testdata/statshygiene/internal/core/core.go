@@ -1,0 +1,48 @@
+// Package core declares the audited Stats struct and its producer side.
+package core
+
+import "statcorpus/internal/mem"
+
+// Stats mirrors the simulator's statistics struct: rarlint audits every
+// field of a named Stats/Metrics type declared under internal/.
+type Stats struct {
+	Cycles    uint64 // written by Tick, read by report.Line: clean
+	Committed uint64 // written and read: clean
+	Dead      uint64 //lintwant statshygiene (written by Tick, never read)
+	Ghost     uint64 //lintwant statshygiene (read by report.Line, never written)
+	Unused    uint64 //lintwant statshygiene (never touched outside plumbing)
+	// Waived is observability-only; the directive keeps it with the
+	// reason on record.
+	//rarlint:allow statshygiene corpus example of an audited waiver
+	Waived uint64
+	// Mem nests another audited struct: reading st.Mem.Hits consumes
+	// Hits (the outermost selected field), not Mem itself.
+	Mem mem.Stats
+}
+
+// Tick writes the counters the simulated core maintains.
+func (s *Stats) Tick() {
+	s.Cycles++
+	s.Committed += 4
+	s.Dead++
+	s.Waived++
+	s.Mem.Hits++
+	s.Mem.Misses++
+}
+
+// Reset overwrites the nested struct wholesale: a write of Mem.
+func (s *Stats) Reset() {
+	s.Mem = mem.Stats{}
+}
+
+// merge is counter-wise plumbing (warmup subtraction): it counts as
+// neither a read nor a write, so touching every field here cannot hide
+// a dead or ghost statistic.
+func (s *Stats) merge(w Stats) {
+	s.Cycles -= w.Cycles
+	s.Committed -= w.Committed
+	s.Dead -= w.Dead
+	s.Ghost -= w.Ghost
+	s.Unused -= w.Unused
+	s.Waived -= w.Waived
+}

@@ -1,0 +1,10 @@
+// Package mem declares a nested audited Stats struct, mirroring the
+// simulator's memory-hierarchy counters.
+package mem
+
+// Stats is audited: Hits is produced by core.Tick and consumed by
+// report.Line; Misses is produced but nothing ever reports it.
+type Stats struct {
+	Hits   uint64
+	Misses uint64 //lintwant statshygiene (written, never read)
+}

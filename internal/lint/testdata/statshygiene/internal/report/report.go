@@ -1,0 +1,21 @@
+// Package report is the consumer side: a field is live only if a
+// reporter or derived metric reads it.
+package report
+
+import (
+	"statcorpus/internal/core"
+	"statcorpus/internal/mem"
+)
+
+// Stats is an alias, not a declaration: aliases are not re-audited.
+type Stats = core.Stats
+
+// Line renders the live columns.
+func Line(st core.Stats) []uint64 {
+	return []uint64{st.Cycles, st.Committed, st.Ghost, st.Mem.Hits}
+}
+
+// Grab reads the nested struct wholesale: a read of Mem itself.
+func Grab(st core.Stats) mem.Stats {
+	return st.Mem
+}

@@ -1,0 +1,3 @@
+module supcorpus
+
+go 1.24

@@ -1,0 +1,48 @@
+// Package sim exercises directive validation: a malformed
+// rarlint:allow is a finding of the "lint" pseudo-check, suppresses
+// nothing, and cannot itself be suppressed — a waiver can never
+// silently rot.
+package sim
+
+import "time"
+
+// A well-formed directive on the flagged line suppresses the finding.
+func suppressed() time.Time {
+	return time.Now() //rarlint:allow determinism corpus host-side example
+}
+
+// A well-formed directive on the line directly above also reaches it.
+func lineAbove() time.Time {
+	//rarlint:allow determinism corpus host-side example
+	return time.Now()
+}
+
+// A typo in the check name: the directive is flagged and the finding
+// survives.
+func typo() time.Time {
+	//lintwant lint
+	//rarlint:allow determinsm typo never suppresses
+	return time.Now() //lintwant determinism
+}
+
+// A directive without a reason is rejected and suppresses nothing.
+func reasonless() time.Time {
+	//lintwant lint
+	//rarlint:allow determinism
+	return time.Now() //lintwant determinism
+}
+
+// A directive without even a check name.
+func nameless() time.Time {
+	//lintwant lint
+	//rarlint:allow
+	return time.Now() //lintwant determinism
+}
+
+// A valid directive two lines above the finding does not reach it:
+// suppression is same-line or line-above only.
+func farAway() time.Time {
+	//rarlint:allow determinism valid reason but too far from the call
+
+	return time.Now() //lintwant determinism
+}

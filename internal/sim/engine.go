@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -128,8 +129,10 @@ type Metrics struct {
 	Hits uint64
 	// DiskHits counts the subset of Hits loaded from the on-disk cache.
 	DiskHits uint64
-	// Errors counts failed simulations (never cached).
-	Errors uint64
+	// Errors counts failed simulations (never cached). Failures already
+	// surface to callers through Run's error return; this counter exists
+	// for engine observability and is consumed by engine clients/tests.
+	Errors uint64 //rarlint:allow statshygiene observability counter; failures surface via Run's error return
 	// Unique is the number of distinct cells currently held in memory.
 	Unique int
 	// SimTime is the cumulative wall-clock time spent inside the
@@ -250,9 +253,13 @@ func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmar
 		e.progress(key, "disk", 0, st)
 		return st, nil
 	}
-	start := time.Now()
+	// Host-side wall-clock timing of the simulation, for the SimTime
+	// metric and progress lines only. It never feeds a cell's Stats or
+	// the cache key, so it is outside the simulated-state determinism
+	// boundary.
+	start := time.Now() //rarlint:allow determinism host-side timing; never enters simulated state or the cache
 	st, err := e.runCell(cfg, scheme, bench, opt)
-	dur := time.Since(start)
+	dur := time.Since(start) //rarlint:allow determinism host-side timing; never enters simulated state or the cache
 	ent.stats, ent.err = st, err
 
 	e.mu.Lock()
@@ -357,10 +364,12 @@ func (e *Engine) storeDisk(key CellKey, st core.Stats, dur time.Duration) {
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
+		//rarlint:allow errdiscipline best-effort temp-file cleanup on an already-degraded path
 		os.Remove(tmp.Name())
 		return
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		//rarlint:allow errdiscipline best-effort temp-file cleanup on an already-degraded path
 		os.Remove(tmp.Name())
 	}
 }
@@ -431,6 +440,9 @@ func (e *Engine) RunMatrix(cores []config.Core, schemes []config.Scheme, benches
 	}
 	wg.Wait()
 	if len(errs) > 0 {
+		// Workers append in completion order, which varies run to run;
+		// sort so the diagnostic names failed cells deterministically.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 		return nil, fmt.Errorf("sim: %d cell(s) failed: %w", len(errs), errors.Join(errs...))
 	}
 	return rs, nil

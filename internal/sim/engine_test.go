@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -326,6 +327,49 @@ func TestRunMatrixNamesEveryFailedCell(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "2 cell(s) failed") {
 		t.Errorf("error %q does not count the failures", err)
+	}
+}
+
+// TestRunMatrixFailureOrderDeterministic: workers append failures in
+// completion order, which varies run to run; the reported error must
+// list the failed cells in sorted order, byte-identical across runs.
+func TestRunMatrixFailureOrderDeterministic(t *testing.T) {
+	benches := twoBenches(t)
+	schemes := []config.Scheme{config.OoO, config.PRE, config.RAR}
+	cells := len(schemes) * len(benches)
+	opt := smallOpt()
+	opt.Parallelism = cells
+
+	var first string
+	for round := 0; round < 4; round++ {
+		// Every cell is in flight before any failure lands, so all of
+		// them fail and completion order is genuinely scrambled.
+		var barrier sync.WaitGroup
+		barrier.Add(cells)
+		e := NewEngine()
+		e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+			barrier.Done()
+			barrier.Wait()
+			return core.Stats{}, fmt.Errorf("fault in %s/%s", s.Name, b.Name)
+		}
+		_, err := e.RunMatrix([]config.Core{config.Baseline()}, schemes, benches, opt)
+		if err == nil {
+			t.Fatal("matrix with failing cells must error")
+		}
+		msg := err.Error()
+		lines := strings.Split(msg, "\n")
+		if len(lines) != cells {
+			t.Fatalf("error names %d cells, want %d:\n%s", len(lines), cells, msg)
+		}
+		lines[0] = strings.TrimPrefix(lines[0], fmt.Sprintf("sim: %d cell(s) failed: ", cells))
+		if !sort.StringsAreSorted(lines) {
+			t.Errorf("failed cells not listed in sorted order:\n%s", msg)
+		}
+		if round == 0 {
+			first = msg
+		} else if msg != first {
+			t.Errorf("round %d error differs from round 0:\n%s\nvs\n%s", round, msg, first)
+		}
 	}
 }
 

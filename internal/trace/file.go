@@ -94,22 +94,25 @@ func WriteTraceFile(path, name string, src Source, n uint64) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	var w io.Writer = f
 	var gz *gzip.Writer
 	if strings.HasSuffix(path, ".gz") {
 		gz = gzip.NewWriter(f)
 		w = gz
 	}
-	if err := WriteTrace(w, name, src, n); err != nil {
-		return err
+	err = WriteTrace(w, name, src, n)
+	if err == nil && gz != nil {
+		err = gz.Close()
 	}
-	if gz != nil {
-		if err := gz.Close(); err != nil {
-			return err
-		}
+	if err == nil {
+		err = f.Sync()
 	}
-	return f.Sync()
+	// On a write path the close error is load-bearing: it is the last
+	// chance to learn the trace never fully reached disk.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // FileSource replays a recorded trace. The recording is loaded into memory
@@ -183,6 +186,7 @@ func OpenTraceFile(path string) (*FileSource, error) {
 	if err != nil {
 		return nil, err
 	}
+	//rarlint:allow errdiscipline read-path close; read errors already surface via ReadTrace
 	defer f.Close()
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
@@ -190,6 +194,7 @@ func OpenTraceFile(path string) (*FileSource, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: %s: %w", path, err)
 		}
+		//rarlint:allow errdiscipline read-path close; decompression errors already surface via ReadTrace
 		defer gz.Close()
 		r = gz
 	}
