@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench clean
+.PHONY: ci vet lint build test race bench bench-smoke microbench clean
 
 ci: vet lint build race
 
@@ -24,7 +24,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the tracked perf harness (cmd/bench): per-cell simulated
+# instructions/second with the stall fast-forward on and off, plus
+# per-class aggregates, written to BENCH_core.json at the repo root.
 bench:
+	$(GO) run ./cmd/bench -o BENCH_core.json
+
+# bench-smoke is the CI variant: one quick iteration, schema validated,
+# output discarded — proves the harness runs, measures nothing.
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -o -
+
+# microbench keeps the old go-test microbenchmarks reachable.
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 clean:

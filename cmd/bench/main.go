@@ -1,0 +1,302 @@
+// Command bench is the tracked performance harness: it measures simulator
+// throughput (simulated instructions per wall-clock second) per scheme on
+// memory-intensive and compute-intensive benchmarks, with the stall
+// fast-forward on and off, plus end-to-end matrix throughput (cells per
+// second), and writes the results as BENCH_core.json. Committing that file
+// alongside performance-relevant changes gives the repo a perf history the
+// same way results/*.csv give it a results history.
+//
+// Every cell is measured in both fast-forward modes and the two runs'
+// statistics are compared — so `make bench` doubles as an end-to-end check
+// of the fast-forward equivalence contract on real workloads.
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # full measurement, writes BENCH_core.json
+//	go run ./cmd/bench -quick -o -      # CI smoke: 1 iteration, tiny runs, stdout
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"rarsim/internal/config"
+	"rarsim/internal/core"
+	"rarsim/internal/sim"
+	"rarsim/internal/trace"
+)
+
+// schemaVersion identifies the BENCH_core.json layout; bump on any field
+// change so downstream tooling fails loudly instead of misreading.
+const schemaVersion = 1
+
+// Report is the persisted benchmark report. The harness re-parses its own
+// output with DisallowUnknownFields before writing, so the file always
+// matches this schema exactly.
+type Report struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	GoVersion     string `json:"goVersion"`
+	Instructions  uint64 `json:"instructions"`
+	Warmup        uint64 `json:"warmup"`
+	Seed          uint64 `json:"seed"`
+	Iterations    int    `json:"iterations"`
+
+	Cells      []Cell     `json:"cells"`
+	Aggregates Aggregates `json:"aggregates"`
+	Matrix     Matrix     `json:"matrix"`
+}
+
+// Cell is one (scheme, benchmark) throughput measurement.
+type Cell struct {
+	Scheme       string `json:"scheme"`
+	Bench        string `json:"bench"`
+	MemIntensive bool   `json:"memIntensive"`
+	// SimInstsPerSec is simulated instructions per wall-clock second with
+	// the stall fast-forward enabled (the default configuration).
+	SimInstsPerSec float64 `json:"simInstsPerSec"`
+	// SimInstsPerSecNoFF is the same measurement with -no-ff.
+	SimInstsPerSecNoFF float64 `json:"simInstsPerSecNoFF"`
+	// FFSpeedup is SimInstsPerSec / SimInstsPerSecNoFF.
+	FFSpeedup float64 `json:"ffSpeedup"`
+	IPC       float64 `json:"ipc"`
+}
+
+// Aggregates summarises throughput per benchmark class.
+type Aggregates struct {
+	MemSimInstsPerSec         float64 `json:"memSimInstsPerSec"`
+	MemSimInstsPerSecNoFF     float64 `json:"memSimInstsPerSecNoFF"`
+	MemFFSpeedup              float64 `json:"memFFSpeedup"`
+	ComputeSimInstsPerSec     float64 `json:"computeSimInstsPerSec"`
+	ComputeSimInstsPerSecNoFF float64 `json:"computeSimInstsPerSecNoFF"`
+	ComputeFFSpeedup          float64 `json:"computeFFSpeedup"`
+}
+
+// Matrix is the end-to-end experiment-matrix throughput measurement.
+type Matrix struct {
+	Cells        int     `json:"cells"`
+	Instructions uint64  `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+	CellsPerSec  float64 `json:"cellsPerSec"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_core.json", "output path ('-' = stdout)")
+		n     = flag.Uint64("n", 200_000, "committed instructions measured per cell")
+		wu    = flag.Uint64("warmup", 40_000, "warmup instructions per cell")
+		iters = flag.Int("iters", 3, "measurement iterations per cell (best is kept)")
+		quick = flag.Bool("quick", false, "CI smoke mode: 1 iteration, tiny runs")
+	)
+	flag.Parse()
+	if *quick {
+		*n, *wu, *iters = 20_000, 4_000, 1
+	}
+
+	rep, err := measure(*n, *wu, *iters)
+	if err != nil {
+		fail(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	// Self-validation: the bytes about to be written must round-trip
+	// through the schema with no unknown fields and the current version.
+	if err := Validate(data); err != nil {
+		fail(fmt.Errorf("generated report fails its own schema: %w", err))
+	}
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (mem %.0f insts/s, %.1fx over -no-ff; matrix %.1f cells/s)\n",
+		*out, rep.Aggregates.MemSimInstsPerSec, rep.Aggregates.MemFFSpeedup, rep.Matrix.CellsPerSec)
+}
+
+// Validate parses a BENCH_core.json document strictly: unknown fields,
+// trailing data or a version mismatch are errors. Shared by the harness's
+// self-check and the CI smoke run.
+func Validate(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after report object")
+	}
+	if r.SchemaVersion != schemaVersion {
+		return fmt.Errorf("schemaVersion %d, want %d", r.SchemaVersion, schemaVersion)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("report has no cells")
+	}
+	return nil
+}
+
+// benchCells is the measured cell list: every scheme family on one
+// representative streaming benchmark, one pointer-chasing benchmark, and
+// one compute-bound benchmark.
+func benchCells() []struct {
+	scheme config.Scheme
+	bench  string
+} {
+	schemes := []config.Scheme{config.OoO, config.FLUSH, config.TR, config.PRE, config.RARLate, config.RAR}
+	var out []struct {
+		scheme config.Scheme
+		bench  string
+	}
+	for _, b := range []string{"libquantum", "mcf", "exchange2", "x264"} {
+		for _, s := range schemes {
+			out = append(out, struct {
+				scheme config.Scheme
+				bench  string
+			}{s, b})
+		}
+	}
+	return out
+}
+
+func measure(n, warmup uint64, iters int) (*Report, error) {
+	rep := &Report{
+		SchemaVersion: schemaVersion,
+		GoVersion:     goVersion(),
+		Instructions:  n,
+		Warmup:        warmup,
+		Seed:          42,
+		Iterations:    iters,
+	}
+	cfg := config.Baseline()
+	var memFF, memNoFF, compFF, compNoFF time.Duration
+	var memInsts, compInsts uint64
+
+	for _, c := range benchCells() {
+		bench, err := trace.ByName(c.bench)
+		if err != nil {
+			return nil, err
+		}
+		opt := sim.Options{Instructions: n, Warmup: warmup, Seed: 42}
+
+		ffDur, ffStats, err := timeCell(cfg, c.scheme, bench, opt, iters)
+		if err != nil {
+			return nil, err
+		}
+		opt.NoFastForward = true
+		noFFDur, noFFStats, err := timeCell(cfg, c.scheme, bench, opt, iters)
+		if err != nil {
+			return nil, err
+		}
+		// The equivalence contract, checked end to end on every cell.
+		if !reflect.DeepEqual(ffStats, noFFStats) {
+			return nil, fmt.Errorf("%s/%s: fast-forward changed the results:\n on: %+v\noff: %+v",
+				c.scheme.Name, c.bench, ffStats, noFFStats)
+		}
+
+		total := warmup + n // throughput covers every simulated instruction
+		rep.Cells = append(rep.Cells, Cell{
+			Scheme:             c.scheme.Name,
+			Bench:              c.bench,
+			MemIntensive:       bench.MemoryIntensive,
+			SimInstsPerSec:     rate(total, ffDur),
+			SimInstsPerSecNoFF: rate(total, noFFDur),
+			FFSpeedup:          noFFDur.Seconds() / ffDur.Seconds(),
+			IPC:                ffStats.IPC(),
+		})
+		if bench.MemoryIntensive {
+			memFF += ffDur
+			memNoFF += noFFDur
+			memInsts += total
+		} else {
+			compFF += ffDur
+			compNoFF += noFFDur
+			compInsts += total
+		}
+	}
+
+	rep.Aggregates = Aggregates{
+		MemSimInstsPerSec:         rate(memInsts, memFF),
+		MemSimInstsPerSecNoFF:     rate(memInsts, memNoFF),
+		MemFFSpeedup:              memNoFF.Seconds() / memFF.Seconds(),
+		ComputeSimInstsPerSec:     rate(compInsts, compFF),
+		ComputeSimInstsPerSecNoFF: rate(compInsts, compNoFF),
+		ComputeFFSpeedup:          compNoFF.Seconds() / compFF.Seconds(),
+	}
+
+	m, err := measureMatrix(n/4, warmup/4)
+	if err != nil {
+		return nil, err
+	}
+	rep.Matrix = *m
+	return rep, nil
+}
+
+// timeCell runs one cell iters times in the given mode and returns the best
+// wall-clock duration plus the (deterministic) statistics.
+func timeCell(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, opt sim.Options, iters int) (time.Duration, core.Stats, error) {
+	var best time.Duration
+	var stats core.Stats
+	for i := 0; i < iters; i++ {
+		start := time.Now() //rarlint:allow determinism wall-clock measurement is this harness's entire purpose; never enters simulated state
+		st, err := sim.Run(cfg, scheme, bench, opt)
+		dur := time.Since(start) //rarlint:allow determinism wall-clock measurement is this harness's entire purpose; never enters simulated state
+		if err != nil {
+			return 0, core.Stats{}, fmt.Errorf("%s/%s: %w", scheme.Name, bench.Name, err)
+		}
+		if i == 0 || dur < best {
+			best = dur
+		}
+		stats = st
+	}
+	return best, stats, nil
+}
+
+// measureMatrix times a small end-to-end experiment matrix — memoizing
+// engine, parallel workers, the code path cmd/experiments drives — and
+// reports cells per second.
+func measureMatrix(n, warmup uint64) (*Matrix, error) {
+	cores := []config.Core{config.Baseline()}
+	schemes := config.Schemes()
+	benches := trace.MemoryIntensive()
+	opt := sim.Options{Instructions: n, Warmup: warmup, Seed: 42}
+	start := time.Now() //rarlint:allow determinism wall-clock measurement is this harness's entire purpose; never enters simulated state
+	if _, err := sim.RunMatrix(cores, schemes, benches, opt); err != nil {
+		return nil, err
+	}
+	dur := time.Since(start) //rarlint:allow determinism wall-clock measurement is this harness's entire purpose; never enters simulated state
+	cells := len(cores) * len(schemes) * len(benches)
+	return &Matrix{
+		Cells:        cells,
+		Instructions: n,
+		Seconds:      dur.Seconds(),
+		CellsPerSec:  float64(cells) / dur.Seconds(),
+	}, nil
+}
+
+func rate(insts uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(insts) / d.Seconds()
+}
+
+func goVersion() string {
+	return runtime.Version()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -30,11 +30,21 @@ func NewLedger() *Ledger { return &Ledger{} }
 // head; fullStall additionally requires the ROB to be full. fullStall
 // implies headBlocked.
 func (l *Ledger) TickBlocked(headBlocked, fullStall bool) {
+	l.Advance(headBlocked, fullStall, 1)
+}
+
+// Advance bulk-applies n cycles of TickBlocked with a constant blocking
+// state. The core's stall fast-forward uses it to integrate ledger
+// residency over a skipped quiescent window: because the blocking state
+// cannot change while no pipeline event fires, n identical ticks collapse
+// into one addition, and Cum() afterwards is exactly what n TickBlocked
+// calls would have produced.
+func (l *Ledger) Advance(headBlocked, fullStall bool, n uint64) {
 	if headBlocked {
-		l.cumHeadBlocked++
+		l.cumHeadBlocked += n
 	}
 	if fullStall {
-		l.cumFullStall++
+		l.cumFullStall += n
 	}
 }
 

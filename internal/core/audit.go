@@ -69,6 +69,14 @@ func (c *Core) audit() {
 		if !u.runahead && u.robIdx < 0 && !u.inst.IsNop() {
 			fail("normal-mode IQ entry seq=%d has no ROB slot", u.seq)
 		}
+		// The event-driven wakeup filter is one-sided: a positive notReady
+		// must imply unready sources (issueStage skips on it without
+		// re-polling). notReady == 0 with unready sources is legal — PRE's
+		// register recycling re-poisons a source behind the filter's back,
+		// and issueStage's srcsReady confirm catches exactly that case.
+		if u.state == uopDispatched && u.notReady > 0 && c.srcsReady(u) {
+			fail("IQ seq=%d notReady=%d but all sources ready", u.seq, u.notReady)
+		}
 	}
 
 	// SQ: age-ordered stores within capacity.

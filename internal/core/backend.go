@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"rarsim/internal/ace"
 	"rarsim/internal/isa"
@@ -34,25 +33,27 @@ func (c *Core) dispatchStage() {
 	}
 }
 
+// dispatchStalled reports whether u cannot dispatch in normal mode for a
+// structural reason (ROB/IQ/LQ/SQ/registers full). Every resource it
+// consults is freed only by a pipeline event (commit, completion, squash),
+// which is what lets the stall fast-forward (ff.go) treat a stalled
+// dispatch head as quiescent until the next event.
+func (c *Core) dispatchStalled(u *uop) bool {
+	in := &u.inst
+	return c.robCount == c.cfg.ROB ||
+		(!in.IsNop() && len(c.iq) >= c.cfg.IQ) ||
+		(in.IsLoad() && c.lqCount >= c.cfg.LQ) ||
+		(in.IsStore() && len(c.sqList) >= c.cfg.SQ) ||
+		(in.HasDest() && !c.regs.canAlloc(in.Dest.IsFp()))
+}
+
 // dispatchNormal allocates back-end resources for u and renames it.
 // Returns false on a structural stall (ROB/IQ/LQ/SQ/registers full).
 func (c *Core) dispatchNormal(u *uop) bool {
+	if c.dispatchStalled(u) {
+		return false
+	}
 	in := &u.inst
-	if c.robCount == c.cfg.ROB {
-		return false
-	}
-	if !in.IsNop() && len(c.iq) >= c.cfg.IQ {
-		return false
-	}
-	if in.IsLoad() && c.lqCount >= c.cfg.LQ {
-		return false
-	}
-	if in.IsStore() && len(c.sqList) >= c.cfg.SQ {
-		return false
-	}
-	if in.HasDest() && !c.regs.canAlloc(in.Dest.IsFp()) {
-		return false
-	}
 
 	u.src[0] = c.regs.lookup(in.Src1)
 	u.src[1] = c.regs.lookup(in.Src2)
@@ -87,7 +88,6 @@ func (c *Core) dispatchNormal(u *uop) bool {
 		u.doneAt = c.cycle
 		return true
 	}
-	u.state = uopDispatched
 	if in.IsLoad() {
 		c.lqCount++
 		u.inLQ = true
@@ -96,7 +96,7 @@ func (c *Core) dispatchNormal(u *uop) bool {
 		c.sqList = append(c.sqList, u)
 		u.inSQ = true
 	}
-	c.iq = append(c.iq, u)
+	c.enqueueIQ(u)
 	return true
 }
 
@@ -137,6 +137,55 @@ func (c *Core) srcsReady(u *uop) bool {
 	return true
 }
 
+// waiter is one issue-queue wakeup registration. The seq guard makes stale
+// entries inert: uop records are pooled, so a squashed-and-recycled record
+// reachable from an old registration carries a different seq and is skipped.
+type waiter struct {
+	u   *uop
+	seq uint64
+}
+
+// enqueueIQ inserts u into the issue queue, registering its not-yet-ready
+// sources for event-driven wakeup. u.notReady is a one-sided filter:
+// notReady > 0 guarantees srcsReady is false, because a ready bit flips
+// true only inside markReady, and the first markReady(p) after a
+// registration on p decrements it. A registration survives even PRE's
+// register recycling (drainPRDQ frees a dead producer's register and a
+// later rename re-allocates it while the consumer still names it): the
+// consumer then waits for the new producer, whose markReady performs the
+// wake — exactly the poll-based semantics this filter replaces.
+// notReady == 0 does NOT guarantee readiness: that same recycling can
+// re-poison a source behind the filter's back (alloc clears the ready bit
+// without touching registrations already woken), so issueStage confirms
+// with srcsReady before issuing. The filter takes the srcsReady poll off
+// the queue's blocked majority; the confirm only runs for issue candidates.
+func (c *Core) enqueueIQ(u *uop) {
+	u.state = uopDispatched
+	u.notReady = 0
+	for _, p := range u.src {
+		if p >= 0 && !c.regs.ready[p] {
+			u.notReady++
+			c.waiters[p] = append(c.waiters[p], waiter{u, u.seq})
+		}
+	}
+	c.iq = append(c.iq, u)
+}
+
+// markReady publishes physical register p as ready and wakes the uops
+// registered as waiting on it. Registrations from squashed consumers are
+// inert (the pooled uop record carries a newer seq); registrations from
+// before a recycling of p are live and correct to wake (see enqueueIQ).
+func (c *Core) markReady(p int16) {
+	c.regs.ready[p] = true
+	ws := c.waiters[p]
+	for _, w := range ws {
+		if w.u.seq == w.seq && w.u.notReady > 0 {
+			w.u.notReady--
+		}
+	}
+	c.waiters[p] = ws[:0]
+}
+
 // issueStage selects up to Width ready uops, oldest first, and starts them
 // on functional units; loads and stores additionally access memory.
 func (c *Core) issueStage() {
@@ -149,7 +198,7 @@ func (c *Core) issueStage() {
 		if u.state != uopDispatched {
 			continue // dead: drop from the queue
 		}
-		if issued >= c.cfg.Width || u.retryAt > c.cycle ||
+		if u.notReady != 0 || issued >= c.cfg.Width || u.retryAt > c.cycle ||
 			!c.srcsReady(u) || !c.tryIssue(u) {
 			kept = append(kept, u)
 			continue
@@ -259,7 +308,7 @@ func (c *Core) forwardFromStore(u *uop) (doneAt uint64, ok bool) {
 // completeStage retires finished executions: wakes dependents, resolves
 // branches (including misprediction recovery), and marks uops completed.
 func (c *Core) completeStage() {
-	var done []*uop
+	done := c.doneScratch[:0]
 	kept := c.execList[:0]
 	for _, u := range c.execList {
 		if u.state == uopDead {
@@ -272,12 +321,18 @@ func (c *Core) completeStage() {
 		}
 	}
 	c.execList = kept
+	c.doneScratch = done
 	if len(done) == 0 {
 		return
 	}
 	// Resolve oldest-first: an older mispredicted branch squashes younger
-	// completions in the same cycle.
-	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	// completions in the same cycle. The batch is small (bounded by uops
+	// finishing on one cycle), so an insertion sort beats sort.Slice.
+	for i := 1; i < len(done); i++ {
+		for j := i; j > 0 && done[j-1].seq > done[j].seq; j-- {
+			done[j-1], done[j] = done[j], done[j-1]
+		}
+	}
 	for _, u := range done {
 		if u.state == uopDead {
 			continue
@@ -290,7 +345,7 @@ func (c *Core) completeUop(u *uop) {
 	u.state = uopCompleted
 	u.hbAtDone, u.fsAtDone = c.ledger.Cum()
 	if u.dest >= 0 {
-		c.regs.ready[u.dest] = true
+		c.markReady(u.dest)
 		c.regs.inv[u.dest] = u.inv
 	}
 	if u.isBranch() && !u.inst.WrongPath && u.predTaken != u.inst.Taken {

@@ -68,6 +68,15 @@ type Core struct {
 	sqList   []*uop // in-flight stores, age order, for forwarding
 	execList []*uop
 
+	// waiters holds, per physical register, the issue-queue uops waiting
+	// for it to become ready (see backend.go: enqueueIQ/markReady). Each
+	// entry is seq-guarded: uop records are pooled, so an entry only acts
+	// on the incarnation that registered it.
+	waiters [][]waiter
+
+	// doneScratch is completeStage's reusable completion buffer.
+	doneScratch []*uop
+
 	fuPools    [numFuPools]config.FUPool
 	fuIssued   [numFuPools]int    // pipelined pools: ops issued this cycle
 	fuBusyTill [numFuPools]uint64 // unpipelined pools: next free cycle
@@ -113,6 +122,13 @@ type Core struct {
 
 	// ffInstructions counts instructions skipped functionally.
 	ffInstructions uint64
+
+	// Stall fast-forward (ff.go): noFF disables the quiescent-cycle skip
+	// (its zero value keeps the skip on); ffSkipped counts cycles advanced
+	// in bulk. Both are diagnostics outside Stats — results are identical
+	// either way, by the equivalence contract.
+	noFF      bool
+	ffSkipped uint64
 
 	s Stats
 }
@@ -221,19 +237,20 @@ func NewFromSource(cfg config.Core, scheme config.Scheme, name string, gen trace
 // (mem.NewHierarchyWithShared).
 func NewWithHierarchy(cfg config.Core, scheme config.Scheme, name string, gen trace.Source, h *mem.Hierarchy) *Core {
 	c := &Core{
-		cfg:    cfg,
-		scheme: scheme,
-		bits:   ace.DefaultBits(),
-		gen:    gen,
-		stream: newStreamBuf(gen),
-		bp:     branch.NewPredictor(),
-		btb:    branch.NewBTB(12),
-		hier:   h,
-		ledger: ace.NewLedger(),
-		regs:   newRegFile(cfg.IntRegs, cfg.FpRegs),
-		rob:    make([]*uop, cfg.ROB),
-		sstT:   newSST(cfg.SST),
-		prod:   newProducers(12),
+		cfg:     cfg,
+		scheme:  scheme,
+		bits:    ace.DefaultBits(),
+		gen:     gen,
+		stream:  newStreamBuf(gen),
+		bp:      branch.NewPredictor(),
+		btb:     branch.NewBTB(12),
+		hier:    h,
+		ledger:  ace.NewLedger(),
+		regs:    newRegFile(cfg.IntRegs, cfg.FpRegs),
+		rob:     make([]*uop, cfg.ROB),
+		waiters: make([][]waiter, cfg.IntRegs+cfg.FpRegs),
+		sstT:    newSST(cfg.SST),
+		prod:    newProducers(12),
 	}
 	c.fuPools[fuIntAdd] = cfg.IntAdd
 	c.fuPools[fuIntMult] = cfg.IntMult
@@ -254,7 +271,13 @@ func NewWithHierarchy(cfg config.Core, scheme config.Scheme, name string, gen tr
 }
 
 // watchdogWindow is the commit-progress deadline: if no instruction commits
-// for this many cycles, the simulation reports a deadlock.
+// for this many *ticked* cycles — loop iterations actually simulated, not
+// cycles skipped in bulk by the stall fast-forward — the simulation reports
+// a deadlock. Counting ticks rather than wall cycles keeps the two watchdog
+// properties independent of fast-forward: a legitimate stall longer than
+// the window (e.g. a pathologically slow DRAM) collapses into a handful of
+// ticks and survives, while a genuine deadlock generates no events, is
+// never skipped, and accumulates ticks until the watchdog fires.
 const watchdogWindow = 500_000
 
 // Run simulates until instructions have committed and returns the run's
@@ -286,7 +309,7 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 		warmTaken = true
 	}
 	lastCommit := base
-	lastCommitCycle := c.cycle
+	var ticked, lastCommitTick uint64
 	for c.s.Committed < total {
 		c.cycle++
 		c.ledger.SetCycle(c.cycle)
@@ -311,14 +334,18 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 			warmTaken = true
 			c.commitBarrier = total
 		}
+		ticked++
 		if c.s.Committed != lastCommit {
 			lastCommit = c.s.Committed
-			lastCommitCycle = c.cycle
-		} else if c.cycle-lastCommitCycle > watchdogWindow {
+			lastCommitTick = ticked
+		} else if ticked-lastCommitTick > watchdogWindow {
 			return c.s, fmt.Errorf(
-				"core: deadlock: no commit for %d cycles at cycle %d (core=%s bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d)",
+				"core: deadlock: no commit for %d ticked cycles at cycle %d (core=%s bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d ffSkipped=%d)",
 				watchdogWindow, c.cycle, c.s.CoreName, c.s.Benchmark, c.s.Scheme,
-				c.robCount, len(c.iq), len(c.frontQ), c.mode)
+				c.robCount, len(c.iq), len(c.frontQ), c.mode, c.ffSkipped)
+		}
+		if !c.noFF && c.s.Committed < total {
+			c.skipStall()
 		}
 	}
 	c.finalizeStats()
@@ -363,8 +390,27 @@ func (c *Core) Snapshot() Stats {
 // (0 = unlimited). Multicore drivers use it to stop finished cores.
 func (c *Core) SetCommitLimit(n uint64) { c.commitBarrier = n }
 
+// wholeRunStatsFields lists the numeric Stats fields that describe the
+// whole run (or its static configuration) rather than accumulating
+// cycle-by-cycle, and that sub therefore deliberately does NOT subtract:
+//
+//   - CommitHash: the architectural commit-stream fingerprint. A hash is
+//     not a counter — "measured minus warmup" has no meaning for it, and
+//     cross-scheme determinism checks want the whole-run value.
+//   - TotalBits: the bit capacity of the tracked structures, fixed at
+//     construction. Subtracting it would zero the AVF denominator.
+//
+// TestStatsSubCoversAllFields walks Stats by reflection and fails if any
+// numeric field is neither subtracted by sub nor listed here — so adding a
+// counter to Stats (or mem.Stats) without updating sub cannot silently
+// leak warmup into measured results again.
+var wholeRunStatsFields = map[string]bool{
+	"CommitHash": true,
+	"TotalBits":  true,
+}
+
 // sub returns the counter-wise difference s-w, for warmup exclusion.
-// CommitHash is whole-run and is deliberately not subtracted.
+// Fields in wholeRunStatsFields are deliberately not subtracted.
 func (s Stats) sub(w Stats) Stats {
 	out := s
 	out.Cycles -= w.Cycles

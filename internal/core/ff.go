@@ -1,0 +1,240 @@
+package core
+
+// Stall fast-forward: when the core is quiescent — no stage can fetch,
+// dispatch, issue, complete, commit or drain a store, and every pending
+// event lies strictly in the future — the simulation clock may jump to the
+// next event in one step instead of ticking seven no-op stages through
+// every dead cycle. On memory-intensive workloads almost all cycles are
+// spent inside such windows (the premise of the RAR paper itself), so the
+// skip is where the simulator's wall-clock time goes from O(cycles) to
+// O(events).
+//
+// Correctness contract: a run with fast-forward on is *byte-identical* to
+// the same run with it off — every Stats field, every CommitHash, every
+// figure CSV. The argument (see DESIGN.md §7):
+//
+//  1. Completeness of the event set. Every state transition the per-cycle
+//     stages can make is gated either on current machine state (which, by
+//     induction, does not change during a skipped window) or on a cycle
+//     comparison against a timestamp that is already fixed when the skip
+//     is computed: uop.doneAt (FU latency or the memory hierarchy's
+//     DRAM/LLC return time), uop.retryAt (MSHR retry), uop.frontReadyAt
+//     (front-end pipe exit), fetchStallUntil (L1I miss, flush or re-steer
+//     penalty), fuBusyTill (unpipelined units), headSince+RunaheadTimer
+//     (the runahead/FLUSH countdown timer) and blocking.doneAt (runahead
+//     exit). nextEventCycle collects the minimum over exactly these, plus
+//     a defensive bound from the MSHR file's earliest outstanding fill —
+//     every DRAM return time is registered there, so no data arrival can
+//     land inside a skipped window unnoticed.
+//  2. Per-cycle accounting is a pure integral of constant state. The only
+//     work a quiescent cycle performs is tickBlocked: the Figure 5
+//     attribution counters and the ACE ledger's cumulative blocked-cycle
+//     counters advance by a per-cycle amount fully determined by the
+//     (frozen) blocking state, so n cycles collapse into one bulk
+//     ledger.Advance plus n-scaled counter additions. Ledger residency
+//     windows (ace.Ledger.Add) and timeline buckets are only written at
+//     commit, and nothing commits inside a skipped window.
+//  3. Exact-cycle obligations clamp the skip. Invariant audits fire every
+//     auditEvery cycles and fault-injection samples strike at a precise
+//     cycle; the skip never jumps past either — it lands one cycle short
+//     so the normal loop executes them on their exact cycle.
+//
+// The skip only runs inside Run/RunWarm. Step is never fast-forwarded:
+// multicore systems interleave Step calls across cores sharing an LLC, and
+// quiescence of one core says nothing about its neighbours.
+
+// noEvent marks "no pending event" in next-event computations.
+const noEvent = ^uint64(0)
+
+// SetStallFastForward enables or disables the stall fast-forward
+// (default: enabled). Disabling forces the classic cycle-by-cycle loop —
+// the -no-ff escape hatch used by the A/B equivalence tests and for
+// debugging; by the equivalence contract it changes wall-clock time only.
+func (c *Core) SetStallFastForward(enabled bool) { c.noFF = !enabled }
+
+// FFSkippedCycles returns the number of cycles the stall fast-forward has
+// skipped in bulk so far (diagnostics; not part of Stats, which must stay
+// identical with fast-forward on and off).
+func (c *Core) FFSkippedCycles() uint64 { return c.ffSkipped }
+
+// nextEventCycle returns the earliest cycle > c.cycle at which any
+// pipeline stage can change machine state, assuming no state changes until
+// then. A return of c.cycle+1 means the core is busy (something can act on
+// the very next cycle) and nothing can be skipped. Called at the bottom of
+// a simulated cycle, after every stage has run.
+//
+// This runs every non-skipped cycle, so its own cost decides whether the
+// fast-forward is a net win: the O(1) sources run first and every source
+// short-circuits the moment the core is proven busy, so busy cycles pay a
+// few comparisons and only genuinely stalled cycles reach the IQ/exec
+// scans — whose cost is then amortised over the whole skipped window.
+func (c *Core) nextEventCycle() uint64 {
+	busy := c.cycle + 1
+
+	// Post-commit stores drain one per cycle; a non-empty buffer acts
+	// every cycle.
+	if len(c.storeBuf) > 0 {
+		return busy
+	}
+
+	head := c.robHeadUop()
+	// A completed ROB head commits next cycle (commit is architecturally
+	// blocked during runahead; the runahead exit is handled below).
+	if c.mode == modeNormal && head != nil && head.state == uopCompleted {
+		return busy
+	}
+
+	// Fetch: acts when its stall expires, unless the front-end pipe is at
+	// capacity (then only dispatch progress — an event below — unblocks it).
+	t := noEvent
+	if len(c.frontQ) < c.frontQCap() {
+		if c.fetchStallUntil <= busy {
+			return busy
+		}
+		t = c.fetchStallUntil
+	}
+
+	// Dispatch: in-order, so only the pipe head matters. A structurally
+	// stalled head waits for a commit/completion/squash — all events in
+	// their own right. In runahead mode dispatch consumes (or drops) every
+	// instruction as long as the PRDQ has room.
+	if len(c.frontQ) > 0 {
+		u := c.frontQ[0]
+		stalled := false
+		if c.mode == modeRunahead {
+			stalled = len(c.prdq) >= c.cfg.PRDQ
+		} else {
+			stalled = c.dispatchStalled(u)
+		}
+		if !stalled {
+			if u.frontReadyAt <= busy {
+				return busy
+			}
+			if u.frontReadyAt < t {
+				t = u.frontReadyAt
+			}
+		}
+	}
+
+	// Mode transitions: runahead exit, PRDQ drain, countdown timers.
+	if ev := c.modeNextEvent(head); ev <= busy {
+		return busy
+	} else if ev < t {
+		t = ev
+	}
+
+	// Execution completions: FU latencies and memory return times
+	// (uop.doneAt carries the hierarchy's DRAM/LLC fill cycle).
+	for _, u := range c.execList {
+		if u.state == uopDead {
+			continue
+		}
+		if u.doneAt <= busy {
+			return busy
+		}
+		if u.doneAt < t {
+			t = u.doneAt
+		}
+	}
+
+	// Issue: a waiting uop with ready sources retries as soon as its MSHR
+	// backoff expires and (for unpipelined pools) its unit frees up. Uops
+	// with unready sources wake only via a producer's completion, which is
+	// itself an execution event above.
+	for _, u := range c.iq {
+		if u.state != uopDispatched || u.notReady != 0 || !c.srcsReady(u) {
+			continue
+		}
+		ev := max(busy, u.retryAt)
+		if pool := poolOf(u.inst.Class); !c.fuPools[pool].Pipelined {
+			ev = max(ev, c.fuBusyTill[pool])
+		}
+		if ev <= busy {
+			return busy
+		}
+		if ev < t {
+			t = ev
+		}
+	}
+
+	// Defensive bound from the memory system: never skip past the next
+	// outstanding L1D miss fill. Fills change nothing until a uop consumes
+	// them — every consumer is already an event above — but clamping here
+	// keeps any overlooked coupling through the MSHR file (occupancy,
+	// merges) from ever spanning a skipped window.
+	if fill, ok := c.hier.NextFillAt(c.cycle); ok {
+		if fill <= busy {
+			return busy
+		}
+		if fill < t {
+			t = fill
+		}
+	}
+
+	return t
+}
+
+// skipStall bulk-advances the clock to just before the next event when the
+// core is quiescent. It must run at the bottom of a Run/RunWarm iteration,
+// after every stage of the current cycle has executed.
+func (c *Core) skipStall() {
+	target := c.nextEventCycle()
+	if target <= c.cycle+1 {
+		return // busy, or the next event is due anyway
+	}
+	if target == noEvent {
+		// No pending event at all: the machine cannot make progress ever
+		// again. Do not skip — let the plain loop tick so the watchdog
+		// reports the deadlock with meaningful cycle numbers.
+		return
+	}
+
+	// Exact-cycle obligations: invariant audits and fault-injection
+	// strikes must execute on their precise cycles, so the skip stops
+	// short of the nearest one and lets the normal loop land on it.
+	if c.auditEvery > 0 {
+		if next := (c.cycle/c.auditEvery + 1) * c.auditEvery; next < target {
+			target = next
+		}
+	}
+	if c.injNext < len(c.injSamples) {
+		if ic := c.injSamples[c.injNext].Cycle; ic < target {
+			target = ic
+		}
+	}
+	if target <= c.cycle+1 {
+		return
+	}
+
+	// Advance to target-1; the loop's c.cycle++ then executes the event
+	// cycle itself through the normal stages. The skipped cycles would
+	// each have run tickBlocked with exactly this (frozen) blocking state,
+	// so the attribution counters and the ACE ledger integrate in bulk.
+	n := target - 1 - c.cycle
+	first := c.cycle + 1
+	head := c.robHeadUop()
+	headBlocked := head != nil && head.isLoad() && head.state == uopIssued && head.longLat
+	fullStall := headBlocked && c.robCount == c.cfg.ROB
+	c.ledger.Advance(headBlocked, fullStall, n)
+	if headBlocked {
+		c.s.HeadBlockedCycles += n
+	}
+	if fullStall {
+		c.s.FullStallCycles += n
+	}
+	if c.mode == modeRunahead {
+		c.s.RunaheadCycles += n
+	}
+	// Replicate tickBlocked's head-tracking for the skipped window: if the
+	// head changed during the current cycle, the first skipped tick would
+	// have restarted the countdown timer (modeNextEvent already used that
+	// restarted base when it computed the skip target).
+	if head == nil {
+		c.headSeq, c.headSince = 0, target-1
+	} else if head.seq != c.headSeq {
+		c.headSeq, c.headSince = head.seq, first
+	}
+	c.cycle += n
+	c.ledger.SetCycle(c.cycle)
+	c.ffSkipped += n
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rarsim/internal/ace"
+	"rarsim/internal/config"
+	"rarsim/internal/trace"
+)
+
+// runFF builds a core for (scheme, bench) and runs warmup+measured with the
+// stall fast-forward on or off, returning the measured Stats and the core.
+func runFF(t *testing.T, scheme config.Scheme, benchName string, ff bool,
+	warmup, measured uint64) (Stats, *Core) {
+	t.Helper()
+	b, err := trace.ByName(benchName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(config.Baseline(), scheme, b, 42)
+	c.SetStallFastForward(ff)
+	st, err := c.RunWarm(warmup, measured)
+	if err != nil {
+		t.Fatalf("%s/%s ff=%v: %v", scheme.Name, benchName, ff, err)
+	}
+	return st, c
+}
+
+// TestFFEquivalence is the tentpole's correctness contract: for every
+// scheme, on both a memory-intensive and a compute-intensive benchmark,
+// a run with the stall fast-forward enabled must produce Stats — every
+// field, including CommitHash and the ACE/attribution counters — and a
+// cycle count byte-identical to the cycle-by-cycle run.
+func TestFFEquivalence(t *testing.T) {
+	schemes := append(config.Schemes(), config.RunaheadVariants()...)
+	for _, bn := range []string{"libquantum", "mcf", "exchange2"} {
+		for _, s := range schemes {
+			s, bn := s, bn
+			t.Run(bn+"/"+s.Name, func(t *testing.T) {
+				t.Parallel()
+				on, conOn := runFF(t, s, bn, true, 5_000, 30_000)
+				off, conOff := runFF(t, s, bn, false, 5_000, 30_000)
+				if !reflect.DeepEqual(on, off) {
+					t.Errorf("stats diverge with fast-forward:\n on: %+v\noff: %+v", on, off)
+				}
+				if conOn.CycleCount() != conOff.CycleCount() {
+					t.Errorf("cycle count diverges: ff=%d, no-ff=%d",
+						conOn.CycleCount(), conOff.CycleCount())
+				}
+				if conOff.FFSkippedCycles() != 0 {
+					t.Errorf("disabled fast-forward still skipped %d cycles",
+						conOff.FFSkippedCycles())
+				}
+			})
+		}
+	}
+}
+
+// TestFFSkipsAreSubstantial: on a memory-intensive benchmark the baseline
+// core spends most of its time waiting on DRAM, so the fast-forward must
+// actually skip a large share of the cycles — otherwise it is silently
+// disabled and the perf win is gone.
+func TestFFSkipsAreSubstantial(t *testing.T) {
+	_, c := runFF(t, config.OoO, "libquantum", true, 5_000, 30_000)
+	total := c.CycleCount()
+	skipped := c.FFSkippedCycles()
+	if skipped < total/4 {
+		t.Errorf("fast-forward skipped only %d of %d cycles on a memory-bound run",
+			skipped, total)
+	}
+}
+
+// TestFFEquivalenceWithAudit: the invariant auditor must still run on its
+// exact cycles (the skip clamps to the next audit multiple), and the
+// audited run must match the unaudited one.
+func TestFFEquivalenceWithAudit(t *testing.T) {
+	run := func(ff bool) Stats {
+		b, err := trace.ByName("mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(config.Baseline(), config.RAR, b, 42)
+		c.EnableAudit(1_000)
+		c.SetStallFastForward(ff)
+		st, err := c.RunWarm(5_000, 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	on, off := run(true), run(false)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("audited stats diverge with fast-forward:\n on: %+v\noff: %+v", on, off)
+	}
+}
+
+// TestFFEquivalenceWithInjection: fault-injection samples strike at exact
+// cycles; the skip must clamp to each pending sample so every trial sees
+// the same machine state — and therefore resolves to the same outcome —
+// with fast-forward on and off.
+func TestFFEquivalenceWithInjection(t *testing.T) {
+	mkSamples := func() []InjectSample {
+		var s []InjectSample
+		// A spread of strikes across structures, deliberately landing in
+		// the long quiescent windows a memory-bound run produces.
+		for cyc := uint64(7_001); cyc < 120_000; cyc += 7_919 {
+			s = append(s,
+				InjectSample{Cycle: cyc, Structure: ace.ROB, Slot: int(cyc % 192)},
+				InjectSample{Cycle: cyc + 13, Structure: ace.IQ, Slot: int(cyc % 92)},
+				InjectSample{Cycle: cyc + 29, Structure: ace.LQ, Slot: int(cyc % 64)},
+			)
+		}
+		return s
+	}
+	run := func(ff bool) ([]InjectSample, Stats) {
+		b, err := trace.ByName("libquantum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(config.Baseline(), config.RAR, b, 42)
+		samples := mkSamples()
+		c.InjectSamples(samples)
+		c.SetStallFastForward(ff)
+		st, err := c.RunWarm(5_000, 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples, st
+	}
+	onS, on := run(true)
+	offS, off := run(false)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("injected stats diverge with fast-forward:\n on: %+v\noff: %+v", on, off)
+	}
+	if !reflect.DeepEqual(onS, offS) {
+		for i := range onS {
+			if onS[i] != offS[i] {
+				t.Errorf("sample %d diverges: ff=%+v no-ff=%+v", i, onS[i], offS[i])
+			}
+		}
+	}
+	resolved := 0
+	for _, s := range onS {
+		if s.Outcome != InjectPending {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Error("no injection sample resolved — the test exercised nothing")
+	}
+}
+
+// slowDRAMCore returns the baseline core with a DRAM whose fixed controller
+// overhead alone exceeds the watchdog window: every LLC miss stalls the
+// pipeline for longer than the old wall-cycle watchdog would tolerate.
+func slowDRAMCore() config.Core {
+	cfg := config.Baseline()
+	cfg.Mem.DRAM.Ctrl = watchdogWindow + 100_000
+	return cfg
+}
+
+// TestWatchdogSurvivesLongStall: a legitimate stall longer than the
+// watchdog window — here a pathologically slow DRAM — must not be reported
+// as a deadlock. The fast-forward collapses the stall into a handful of
+// ticked cycles, and the watchdog counts ticks, not wall cycles. (Before
+// this change the run aborted with a spurious deadlock error.)
+func TestWatchdogSurvivesLongStall(t *testing.T) {
+	b, err := trace.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(slowDRAMCore(), config.OoO, b, 42)
+	st, err := c.Run(2_000)
+	if err != nil {
+		t.Fatalf("slow-DRAM run must survive the watchdog: %v", err)
+	}
+	if st.Committed != 2_000 {
+		t.Fatalf("committed %d, want 2000", st.Committed)
+	}
+	if st.Cycles <= watchdogWindow {
+		t.Fatalf("run finished in %d cycles — DRAM not actually slow, test is vacuous", st.Cycles)
+	}
+}
+
+// TestWatchdogLongStallStillTripsWithoutFF documents the flip side: with
+// the fast-forward disabled the same stall is ticked cycle by cycle, so the
+// watchdog (correctly, per its contract: ticked cycles without commit)
+// still reports it. Anyone running -no-ff with an exotic memory config sees
+// the pre-existing behaviour, not silent hours of simulation.
+func TestWatchdogLongStallStillTripsWithoutFF(t *testing.T) {
+	b, err := trace.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(slowDRAMCore(), config.OoO, b, 42)
+	c.SetStallFastForward(false)
+	if _, err := c.Run(2_000); err == nil {
+		t.Fatal("cycle-by-cycle run over a >window stall must trip the watchdog")
+	}
+}
+
+// TestWatchdogCatchesDeadlock: a genuine deadlock — here a core whose load
+// queue has zero entries, so the first load can never dispatch — must still
+// trip the watchdog with fast-forward enabled: no event source fires, so
+// nothing is skipped and ticked cycles accumulate.
+func TestWatchdogCatchesDeadlock(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.LQ = 0
+	b, err := trace.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg, config.OoO, b, 42)
+	_, err = c.Run(2_000)
+	if err == nil {
+		t.Fatal("LQ=0 deadlock must trip the watchdog")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want a deadlock report, got: %v", err)
+	}
+}

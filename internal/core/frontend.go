@@ -22,7 +22,7 @@ func (c *Core) fetchStage() {
 	}
 	// The front-end pipe has finite capacity: when dispatch stalls, fetch
 	// backs up rather than running arbitrarily far ahead.
-	if len(c.frontQ) >= c.cfg.Width*(c.cfg.FrontEndDepth+2) {
+	if len(c.frontQ) >= c.frontQCap() {
 		return
 	}
 	offPath := c.offPath()
@@ -76,6 +76,13 @@ func (c *Core) fetchStage() {
 			break
 		}
 	}
+}
+
+// frontQCap is the front-end pipe capacity at which fetch backs up. The
+// stall fast-forward relies on the same bound to decide that fetch cannot
+// act until dispatch drains the pipe.
+func (c *Core) frontQCap() int {
+	return c.cfg.Width * (c.cfg.FrontEndDepth + 2)
 }
 
 // offPath reports whether fetch is currently down a mispredicted path.

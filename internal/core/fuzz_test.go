@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -77,6 +78,45 @@ func TestRandomProgramsRun(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomProgramsFFEquivalence fuzzes the stall fast-forward's
+// correctness contract: for arbitrary valid programs, random seeds and
+// every scheme family, a run with the quiescent-cycle skip enabled must be
+// Stats-identical (reflect.DeepEqual, cycle count included) to the
+// cycle-by-cycle run. This is the adversarial complement to the curated
+// cells in TestFFEquivalence — random dependence structures, branch mixes
+// and stream patterns hunt for event sources nextEventCycle might miss.
+func TestRandomProgramsFFEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep")
+	}
+	schemes := []config.Scheme{config.OoO, config.FLUSH, config.TR, config.PREEarly, config.RAR}
+	f := func(raw []byte, seed uint64) bool {
+		b := randomBenchmark(raw)
+		s := schemes[int(seed%uint64(len(schemes)))]
+		run := func(ff bool) (Stats, uint64, error) {
+			c := New(config.Baseline(), s, b, seed)
+			c.SetStallFastForward(ff)
+			st, err := c.RunWarm(1_000, 4_000)
+			return st, c.CycleCount(), err
+		}
+		on, onCycles, errOn := run(true)
+		off, offCycles, errOff := run(false)
+		if errOn != nil || errOff != nil {
+			t.Logf("scheme %s: errOn=%v errOff=%v raw=%v seed=%d", s.Name, errOn, errOff, raw, seed)
+			return false
+		}
+		if !reflect.DeepEqual(on, off) || onCycles != offCycles {
+			t.Logf("scheme %s seed=%d raw=%v:\n on: %+v (cycles %d)\noff: %+v (cycles %d)",
+				s.Name, seed, raw, on, onCycles, off, offCycles)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

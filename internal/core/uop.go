@@ -42,6 +42,11 @@ type uop struct {
 	src      [2]int16 // physical sources (-1 = none/ready immediate)
 	dest     int16    // physical destination (-1 = none)
 	prevDest int16    // previous mapping of the architectural dest, for rollback
+	// notReady counts source registers still awaiting their producer.
+	// Maintained event-driven (Core.markReady decrements it when a producer
+	// publishes) so the issue stage tests one field instead of re-polling
+	// the register file for every queued uop every cycle.
+	notReady int8
 
 	// Position bookkeeping.
 	streamIdx uint64 // index into the correct-path stream (for rewind)

@@ -68,6 +68,24 @@ func (m *MSHRs) Allocate(addr, now, fillAt uint64) bool {
 	return false
 }
 
+// NextFillAt returns the earliest cycle after now at which an in-flight
+// miss completes its fill, or ok=false when nothing is outstanding. The
+// core's stall fast-forward uses it as a conservative bound on how far the
+// clock may skip: every DRAM/LLC return time is registered here, so no
+// data arrival can fall inside a skipped window. Read-only: unlike the
+// access paths it does not reap expired entries.
+func (m *MSHRs) NextFillAt(now uint64) (fillAt uint64, ok bool) {
+	for i := range m.entries {
+		if !m.entries[i].valid || m.entries[i].fillAt <= now {
+			continue
+		}
+		if !ok || m.entries[i].fillAt < fillAt {
+			fillAt, ok = m.entries[i].fillAt, true
+		}
+	}
+	return fillAt, ok
+}
+
 // Outstanding returns the number of in-flight misses at cycle now.
 func (m *MSHRs) Outstanding(now uint64) int {
 	n := 0

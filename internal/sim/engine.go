@@ -41,7 +41,10 @@ type CellKey struct {
 	Bench  string
 	// Instructions, Warmup and Seed are the Options fields that affect
 	// the simulation outcome. Parallelism is deliberately excluded: it
-	// only schedules work, it never changes a cell's result.
+	// only schedules work, it never changes a cell's result. So is
+	// NoFastForward: the stall fast-forward's equivalence contract
+	// guarantees identical statistics either way, so both variants of a
+	// cell rightly share one cache slot.
 	Instructions uint64
 	Warmup       uint64
 	Seed         uint64
@@ -124,8 +127,11 @@ func SchemaHash() string {
 type Metrics struct {
 	// Simulated counts cells that ran the cycle-level simulator.
 	Simulated uint64
-	// Hits counts requests served without simulating: from memory, from
-	// disk, or by waiting on an identical in-flight simulation.
+	// Hits counts requests *served* without simulating: from memory, from
+	// disk, or by waiting on an identical in-flight simulation. Only
+	// successful resolutions count — a waiter on a cell whose shared
+	// simulation fails records neither a hit (it served nothing) nor an
+	// error (the runner counts each failure exactly once).
 	Hits uint64
 	// DiskHits counts the subset of Hits loaded from the on-disk cache.
 	DiskHits uint64
@@ -229,12 +235,16 @@ func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmar
 
 	e.mu.Lock()
 	if ent, ok := e.cells[key]; ok {
-		e.m.Hits++
 		e.mu.Unlock()
 		<-ent.done
 		if ent.err != nil {
+			// The shared simulation failed. The runner counted the error;
+			// this waiter served nothing, so it must not count a hit.
 			return core.Stats{}, ent.err
 		}
+		e.mu.Lock()
+		e.m.Hits++
+		e.mu.Unlock()
 		e.progress(key, "mem", 0, ent.stats)
 		return ent.stats, nil
 	}

@@ -119,6 +119,11 @@ func TestKeyInvalidation(t *testing.T) {
 	if got := KeyFor(cfg, config.RAR, bench, par); got != base {
 		t.Error("parallelism must not affect the key")
 	}
+	noFF := opt
+	noFF.NoFastForward = true
+	if got := KeyFor(cfg, config.RAR, bench, noFF); got != base {
+		t.Error("the fast-forward toggle must not affect the key (results are identical by contract)")
+	}
 
 	mut := []struct {
 		name string
@@ -185,6 +190,75 @@ func TestEngineSingleflight(t *testing.T) {
 	m := e.Metrics()
 	if m.Simulated != 1 || m.Hits != callers-1 {
 		t.Errorf("metrics = %+v, want 1 simulated / %d hits", m, callers-1)
+	}
+}
+
+// TestEngineWaitersOnFailedCellAreNotHits pins the hit-accounting contract
+// under concurrent failing cells: a waiter that piles onto an in-flight
+// simulation which then FAILS has been served nothing — it must not count
+// a cache hit (the engine used to increment Hits before waiting, so every
+// waiter on a doomed cell inflated the hit rate), and the failure itself
+// is counted exactly once, by the runner.
+func TestEngineWaitersOnFailedCellAreNotHits(t *testing.T) {
+	var sims atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := NewEngine()
+	e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+		if sims.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return core.Stats{}, errors.New("boom")
+	}
+	cfg := config.Baseline()
+	bench := twoBenches(t)[0]
+	opt := smallOpt()
+
+	var wg sync.WaitGroup
+	var errCount atomic.Int64
+	call := func() {
+		defer wg.Done()
+		if _, err := e.Run(cfg, config.RAR, bench, opt); err != nil {
+			errCount.Add(1)
+		}
+	}
+	wg.Add(1)
+	go call()
+	<-started // the runner is inside the (gated) simulation
+
+	const waiters = 8
+	var ready sync.WaitGroup
+	ready.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			ready.Done()
+			call()
+		}()
+	}
+	ready.Wait()
+	time.Sleep(20 * time.Millisecond) // let the waiters reach the in-flight entry
+	close(release)
+	wg.Wait()
+
+	if got := errCount.Load(); got != waiters+1 {
+		t.Errorf("%d of %d callers saw the error", got, waiters+1)
+	}
+	m := e.Metrics()
+	if m.Hits != 0 {
+		t.Errorf("failed cell produced %d cache hits, want 0", m.Hits)
+	}
+	if m.Simulated != 0 {
+		t.Errorf("failed cell counted as %d successful simulations", m.Simulated)
+	}
+	// Stragglers that missed the in-flight window re-simulate (and re-fail);
+	// every actual simulation attempt is an error, counted exactly once.
+	if m.Errors != uint64(sims.Load()) {
+		t.Errorf("errors=%d, want one per simulation attempt (%d)", m.Errors, sims.Load())
+	}
+	if m.Errors == 0 {
+		t.Error("no error was counted at all")
 	}
 }
 
