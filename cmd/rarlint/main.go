@@ -1,14 +1,19 @@
 // Command rarlint statically enforces the simulator's correctness
 // contracts: determinism of everything feeding the memoized simulation
 // cache, hygiene of the statistics that become report columns, coverage
-// of every config knob the sweeps claim to vary, and error-return
-// discipline. Pure standard library — go/parser, go/ast, go/types — with
-// no external dependencies.
+// of every config knob the sweeps claim to vary, error-return
+// discipline, purity of the stall fast-forward's event computation
+// (//rarlint:pure), completeness of the runahead exit/flush restore set
+// (//rarlint:survives), and dimensional consistency of the metrics
+// (//rarlint:unit). Pure standard library — go/parser, go/ast,
+// go/types — with no external dependencies.
 //
 // Usage:
 //
 //	rarlint ./...                 # whole module, all checks (CI mode)
 //	rarlint -checks determinism   # one check
+//	rarlint -json ./...           # schema-stable JSON findings for CI
+//	rarlint -tests ./...          # load and analyze _test.go files too
 //	rarlint path/to/module        # another module root (e.g. a corpus)
 //
 // Exit status: 0 clean, 1 findings, 2 load error. Audited exceptions are
@@ -16,8 +21,8 @@
 //
 //	start := time.Now() //rarlint:allow determinism host-side timing
 //
-// See README.md ("Static analysis: rarlint") and DESIGN.md ("Determinism
-// contract & static analysis").
+// See README.md ("Static analysis: rarlint") and DESIGN.md §6 and §8
+// ("Statically enforced invariants").
 package main
 
 import (

@@ -38,6 +38,8 @@ func (c *Core) dispatchStage() {
 // consults is freed only by a pipeline event (commit, completion, squash),
 // which is what lets the stall fast-forward (ff.go) treat a stalled
 // dispatch head as quiescent until the next event.
+//
+//rarlint:pure
 func (c *Core) dispatchStalled(u *uop) bool {
 	in := &u.inst
 	return c.robCount == c.cfg.ROB ||
@@ -103,6 +105,8 @@ func (c *Core) dispatchNormal(u *uop) bool {
 // poolOf maps an instruction class to its functional-unit pool. Loads,
 // stores and branches use the integer-add pool (address generation /
 // resolution).
+//
+//rarlint:pure
 func poolOf(class isa.Class) int {
 	switch class {
 	case isa.IntMult:
@@ -128,6 +132,7 @@ func (c *Core) fuWidth(class isa.Class) uint64 {
 	return uint64(c.bits.IntFU)
 }
 
+//rarlint:pure
 func (c *Core) srcsReady(u *uop) bool {
 	for _, p := range u.src {
 		if p >= 0 && !c.regs.ready[p] {

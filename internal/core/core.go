@@ -46,12 +46,12 @@ type Core struct {
 	regs   *regFile
 	pool   uopPool
 
-	cycle uint64
+	cycle uint64 //rarlint:unit cycles
 	seq   uint64
 
 	// Front-end.
 	frontQ          []*uop
-	fetchStallUntil uint64
+	fetchStallUntil uint64 //rarlint:unit cycles
 	wrongPath       bool
 	wpPC            uint64
 	// wpSynthetic counts synthesised wrong-path instructions still to
@@ -72,6 +72,7 @@ type Core struct {
 	// for it to become ready (see backend.go: enqueueIQ/markReady). Each
 	// entry is seq-guarded: uop records are pooled, so an entry only acts
 	// on the incarnation that registered it.
+	//rarlint:survives seq-guarded: entries registered in runahead are inert after the squash recycles their uops
 	waiters [][]waiter
 
 	// doneScratch is completeStage's reusable completion buffer.
@@ -79,13 +80,13 @@ type Core struct {
 
 	fuPools    [numFuPools]config.FUPool
 	fuIssued   [numFuPools]int    // pipelined pools: ops issued this cycle
-	fuBusyTill [numFuPools]uint64 // unpipelined pools: next free cycle
+	fuBusyTill [numFuPools]uint64 //rarlint:unit cycles -- unpipelined pools: next free cycle
 
 	storeBuf []uint64 // post-commit store addresses awaiting L1D write
 
 	// ROB-head blocking tracking.
 	headSeq   uint64
-	headSince uint64
+	headSince uint64 //rarlint:unit cycles
 
 	// Runahead machinery.
 	mode       mode
@@ -133,14 +134,18 @@ type Core struct {
 	s Stats
 }
 
-// checkpoint is the state saved at runahead (or flush) entry.
+// checkpoint is the state saved at runahead (or flush) entry. Exit
+// *consumes* the checkpoint (restoreRAT, bp.Restore, stream.rewind read
+// from it) rather than clearing it; the stale copy left behind is
+// architecturally dead until the next enterRunahead overwrites it.
 type checkpoint struct {
-	rat          [isa.NumRegs]int16
-	bpSnap       branch.Snapshot
+	rat    [isa.NumRegs]int16 //rarlint:survives consumed at exit, overwritten by the next entry
+	bpSnap branch.Snapshot    //rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:survives consumed at exit, overwritten by the next entry
 	resumeCursor uint64 // fetch cursor to restore on a PRE-style exit
-	wrongPath    bool
-	wpPC         uint64
-	wpSynthetic  int
+	wrongPath    bool   //rarlint:survives consumed at exit, overwritten by the next entry
+	wpPC         uint64 //rarlint:survives consumed at exit, overwritten by the next entry
+	wpSynthetic  int    //rarlint:survives consumed at exit, overwritten by the next entry
 }
 
 // Stats is the result of one simulation run.
@@ -149,30 +154,32 @@ type Stats struct {
 	Scheme    string
 	CoreName  string
 
-	Cycles    uint64
-	Committed uint64
+	Cycles    uint64 //rarlint:unit cycles
+	Committed uint64 //rarlint:unit insts
 
-	CommittedLoads    uint64
-	CommittedStores   uint64
-	CommittedBranches uint64
-	Mispredicts       uint64
+	CommittedLoads    uint64 //rarlint:unit insts
+	CommittedStores   uint64 //rarlint:unit insts
+	CommittedBranches uint64 //rarlint:unit insts
+	Mispredicts       uint64 //rarlint:unit insts
 	WrongPathFetched  uint64
 
-	RunaheadEntries  uint64
-	RunaheadCycles   uint64
-	RunaheadExecuted uint64 // uops executed in runahead mode
-	RunaheadDropped  uint64 // uops filtered or INV-dropped in runahead
-	Flushes          uint64 // FLUSH-scheme pipeline flushes
+	RunaheadEntries  uint64 //rarlint:survives statistics counter: runahead activity is metered, not squashed
+	RunaheadCycles   uint64 //rarlint:unit cycles
+	RunaheadExecuted uint64 //rarlint:unit uops -- executed in runahead mode
+	//rarlint:survives statistics counter: runahead activity is metered, not squashed
+	RunaheadDropped uint64 //rarlint:unit uops -- filtered or INV-dropped in runahead
+	Flushes         uint64 // FLUSH-scheme pipeline flushes
 
 	// Activity counters for energy accounting: everything that consumed
 	// pipeline bandwidth, including wrong-path, runahead and re-fetched
 	// work that never (or repeatedly) committed.
-	TotalFetched    uint64
-	TotalDispatched uint64
-	TotalIssued     uint64
+	TotalFetched uint64 //rarlint:unit uops
+	//rarlint:survives statistics counter: energy accounting meters runahead dispatches by design
+	TotalDispatched uint64 //rarlint:unit uops
+	TotalIssued     uint64 //rarlint:unit uops
 
-	HeadBlockedCycles uint64
-	FullStallCycles   uint64
+	HeadBlockedCycles uint64 //rarlint:unit cycles
+	FullStallCycles   uint64 //rarlint:unit cycles
 
 	// CommitHash is an FNV-1a hash over the committed instruction
 	// sequence (PC and class, in commit order) for the whole run,
@@ -182,16 +189,19 @@ type Stats struct {
 	// (benchmark, seed, instruction count).
 	CommitHash uint64
 
-	ABC            [ace.NumStructures]uint64
-	TotalABC       uint64
-	HeadBlockedABC uint64
-	FullStallABC   uint64
-	TotalBits      uint64
+	ABC            [ace.NumStructures]uint64 //rarlint:unit bitcycles
+	TotalABC       uint64                    //rarlint:unit bitcycles
+	HeadBlockedABC uint64                    //rarlint:unit bitcycles
+	FullStallABC   uint64                    //rarlint:unit bitcycles
+	TotalBits      uint64                    //rarlint:unit bits
 
 	Mem mem.Stats
 }
 
 // IPC returns committed instructions per cycle.
+//
+//rarlint:pure
+//rarlint:unit insts/cycles
 func (s Stats) IPC() float64 {
 	if s.Cycles == 0 {
 		return 0
@@ -200,6 +210,9 @@ func (s Stats) IPC() float64 {
 }
 
 // MPKI returns demand-load LLC misses per thousand committed instructions.
+//
+//rarlint:pure
+//rarlint:unit uops/insts
 func (s Stats) MPKI() float64 {
 	if s.Committed == 0 {
 		return 0
@@ -208,11 +221,17 @@ func (s Stats) MPKI() float64 {
 }
 
 // AVF returns the run's architectural vulnerability factor (Equation 2).
+//
+//rarlint:pure
+//rarlint:unit 1
 func (s Stats) AVF() float64 {
 	return ace.AVF(s.TotalABC, s.TotalBits, s.Cycles)
 }
 
 // MispredictRate returns mispredictions per committed branch.
+//
+//rarlint:pure
+//rarlint:unit 1
 func (s Stats) MispredictRate() float64 {
 	if s.CommittedBranches == 0 {
 		return 0
@@ -474,6 +493,7 @@ func (c *Core) tickBlocked() {
 	}
 }
 
+//rarlint:pure
 func (c *Core) robHeadUop() *uop {
 	if c.robCount == 0 {
 		return nil

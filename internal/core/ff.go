@@ -68,6 +68,8 @@ func (c *Core) FFSkippedCycles() uint64 { return c.ffSkipped }
 // short-circuits the moment the core is proven busy, so busy cycles pay a
 // few comparisons and only genuinely stalled cycles reach the IQ/exec
 // scans — whose cost is then amortised over the whole skipped window.
+//
+//rarlint:pure
 func (c *Core) nextEventCycle() uint64 {
 	busy := c.cycle + 1
 

@@ -81,6 +81,8 @@ func (c *Core) fetchStage() {
 // frontQCap is the front-end pipe capacity at which fetch backs up. The
 // stall fast-forward relies on the same bound to decide that fetch cannot
 // act until dispatch drains the pipe.
+//
+//rarlint:pure
 func (c *Core) frontQCap() int {
 	return c.cfg.Width * (c.cfg.FrontEndDepth + 2)
 }

@@ -99,6 +99,8 @@ func (c *Core) modeStage() {
 //     execute later in the cycle), so when they hold now the trigger fires
 //     next cycle; when they don't, they only change at other pipeline
 //     events.
+//
+//rarlint:pure
 func (c *Core) modeNextEvent(head *uop) uint64 {
 	if c.mode == modeRunahead {
 		if len(c.prdq) > 0 {

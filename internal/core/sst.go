@@ -16,7 +16,7 @@ type sst struct {
 	entries []uint64
 	mask    uint64
 	inserts uint64
-	hits    uint64
+	hits    uint64 //rarlint:survives statistics counter; the SST itself trains across runahead intervals by design
 }
 
 func newSST(size int) *sst {

@@ -55,12 +55,12 @@ type uop struct {
 	inSQ      bool
 
 	// Timing.
-	frontReadyAt uint64 // cycle the uop clears the front-end pipe
-	dispatchedAt uint64
-	issuedAt     uint64
-	doneAt       uint64
-	retryAt      uint64 // earliest re-issue attempt after an MSHR stall
-	fuLatency    uint64
+	frontReadyAt uint64 //rarlint:unit cycles -- the cycle the uop clears the front-end pipe
+	dispatchedAt uint64 //rarlint:unit cycles
+	issuedAt     uint64 //rarlint:unit cycles
+	doneAt       uint64 //rarlint:unit cycles
+	retryAt      uint64 //rarlint:unit cycles -- earliest re-issue attempt after an MSHR stall
+	fuLatency    uint64 //rarlint:unit cycles
 
 	// Memory.
 	llcMiss   bool // the access missed the LLC

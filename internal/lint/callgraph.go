@@ -1,0 +1,101 @@
+package lint
+
+// A module-wide function index and static call resolution, shared by the
+// purity and flushreset analyzers. Both reason transitively: purity must
+// catch a mutation added three calls below a //rarlint:pure root, and
+// flushreset must credit a restore performed by a helper of exitRunahead.
+// The index maps every function and method *declared in the module* (test
+// files excluded) to its declaration, so a resolved static callee can be
+// followed into its body; calls that cannot be resolved statically
+// (function values, interface methods) resolve to nil and each analyzer
+// decides how conservative to be about them.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcInfo is one module-declared function or method.
+type funcInfo struct {
+	fn   *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// funcIndex maps declared functions to their bodies across the module.
+type funcIndex struct {
+	mod   *Module
+	decls map[*types.Func]*funcInfo
+}
+
+// buildFuncIndex indexes every function declared in a non-test file of
+// the module.
+func buildFuncIndex(m *Module) *funcIndex {
+	fi := &funcIndex{mod: m, decls: map[*types.Func]*funcInfo{}}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if m.isTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					fi.decls[fn] = &funcInfo{fn: fn, pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+	return fi
+}
+
+// lookup returns the module declaration of fn, or nil when fn is
+// external, interface-abstract, or declared in a test file.
+func (fi *funcIndex) lookup(fn *types.Func) *funcInfo {
+	if fn == nil {
+		return nil
+	}
+	return fi.decls[fn]
+}
+
+// callees returns, in source order, the statically resolved module
+// functions called (directly, deferred, or via go) anywhere in the body
+// of info's function, including inside function literals.
+func (fi *funcIndex) callees(info *funcInfo) []*funcInfo {
+	var out []*funcInfo
+	seen := map[*funcInfo]bool{}
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := fi.lookup(calleeFunc(info.pkg, call)); callee != nil && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+		return true
+	})
+	return out
+}
+
+// funcName renders a function's name for diagnostics: "Type.Method" for
+// methods, plain name otherwise, qualified with the package name when it
+// is not the one the diagnostic is reported from.
+func funcName(from *Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && (from == nil || fn.Pkg() != from.Types) {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -4,6 +4,7 @@ package lint
 // exit-code behaviour CI depends on is itself testable.
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,8 +27,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rarlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	withTests := fs.Bool("tests", false, "include _test.go files (determinism and errdiscipline cover them)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rarlint [-checks list] [module-dir | ./...]\n\n"+
+		fmt.Fprintf(stderr, "usage: rarlint [-checks list] [-json] [-tests] [module-dir | ./...]\n\n"+
 			"Static analysis of a Go module's simulator contracts. Checks:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
@@ -61,7 +64,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rarlint:", err)
 		return ExitError
 	}
-	mod, err := LoadModule(root)
+	load := LoadModule
+	if *withTests {
+		load = LoadModuleWithTests
+	}
+	mod, err := load(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "rarlint:", err)
 		return ExitError
@@ -76,20 +83,61 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rarlint:", err)
 		return ExitError
 	}
+	cwd, _ := os.Getwd()
+	for i := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Pos.Filename = rel
+			}
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "rarlint:", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
 	if len(diags) == 0 {
 		return ExitClean
 	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
-		}
-		fmt.Fprintln(stdout, d)
-	}
 	fmt.Fprintf(stderr, "rarlint: %d finding(s)\n", len(diags))
 	return ExitFindings
+}
+
+// jsonDiagnostic is the schema-stable -json record. Field names and
+// types are a compatibility contract with CI (which rewrites them into
+// GitHub Actions ::error annotations); extend, never rename.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders diagnostics as a JSON array ("[]" on a clean run,
+// so pipelines can always parse stdout).
+func writeJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
 }
 
 // findModuleRoot walks upward from dir to the nearest go.mod.

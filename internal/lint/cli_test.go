@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -62,14 +63,101 @@ func TestMainExitCodes(t *testing.T) {
 	})
 }
 
+// TestJSONOutput pins the -json schema CI rewrites into GitHub Actions
+// annotations: an array of {file,line,col,check,message} records, and a
+// literal empty array on a clean run so pipelines always parse stdout.
+func TestJSONOutput(t *testing.T) {
+	t.Run("findings", func(t *testing.T) {
+		var out, errb strings.Builder
+		code := Main([]string{"-json", filepath.Join("testdata", "errdiscipline")}, &out, &errb)
+		if code != ExitFindings {
+			t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitFindings, errb.String())
+		}
+		var recs []jsonDiagnostic
+		if err := json.Unmarshal([]byte(out.String()), &recs); err != nil {
+			t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+		}
+		if len(recs) == 0 {
+			t.Fatal("JSON array is empty despite ExitFindings")
+		}
+		for _, r := range recs {
+			if r.File == "" || r.Line <= 0 || r.Col <= 0 || r.Check == "" || r.Message == "" {
+				t.Errorf("incomplete record: %+v", r)
+			}
+			if filepath.IsAbs(r.File) {
+				t.Errorf("file %q is absolute; CI annotations need repo-relative paths", r.File)
+			}
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		var out, errb strings.Builder
+		code := Main([]string{"-json", "-checks", "errdiscipline", filepath.Join("testdata", "determinism")}, &out, &errb)
+		if code != ExitClean {
+			t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitClean, errb.String())
+		}
+		if got := strings.TrimSpace(out.String()); got != "[]" {
+			t.Errorf("clean -json stdout = %q, want \"[]\"", got)
+		}
+	})
+}
+
+// TestTestsFlag pins the -tests loader: without it test files are
+// invisible; with it both in-package and external-test-package files
+// are loaded, type-checked and analyzed.
+func TestTestsFlag(t *testing.T) {
+	dir := filepath.Join("testdata", "testsflag")
+
+	var out, errb strings.Builder
+	if code := Main([]string{dir}, &out, &errb); code != ExitClean {
+		t.Fatalf("without -tests: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-tests", dir}, &out, &errb); code != ExitFindings {
+		t.Fatalf("with -tests: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitFindings, out.String(), errb.String())
+	}
+	for _, file := range []string{"sim_test.go", "ext_test.go"} {
+		if !strings.Contains(out.String(), file) {
+			t.Errorf("-tests findings lack the violation in %s:\n%s", file, out.String())
+		}
+	}
+}
+
 // TestRepoIsClean is the acceptance regression: rarlint on this
-// repository itself must exit 0 — every real finding is either fixed or
-// carries an audited allow directive.
+// repository itself must exit 0 with the full seven-check suite — every
+// real finding is either fixed or carries an audited directive — and
+// stay clean when the repository's own test files are loaded too.
 func TestRepoIsClean(t *testing.T) {
+	wantChecks := []string{
+		"determinism", "statshygiene", "configcoverage", "errdiscipline",
+		"purity", "flushreset", "units",
+	}
+	as := Analyzers()
+	if len(as) != len(wantChecks) {
+		t.Fatalf("Analyzers() has %d checks, want %d", len(as), len(wantChecks))
+	}
+	for i, want := range wantChecks {
+		if as[i].Name != want {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, as[i].Name, want)
+		}
+	}
+
 	var out, errb strings.Builder
 	code := Main([]string{filepath.Join("..", "..")}, &out, &errb)
 	if code != ExitClean {
 		t.Fatalf("rarlint on the repo: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = Main([]string{"-tests", filepath.Join("..", "..")}, &out, &errb)
+	if code != ExitClean {
+		t.Fatalf("rarlint -tests on the repo: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
 			code, ExitClean, out.String(), errb.String())
 	}
 }

@@ -34,7 +34,7 @@ func configCoverage(m *Module) []Diagnostic {
 		scope := p.Types.Scope()
 		for _, name := range scope.Names() {
 			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() {
+			if !ok || tn.IsAlias() || m.isTestPos(tn.Pos()) {
 				continue
 			}
 			st, ok := tn.Type().Underlying().(*types.Struct)

@@ -45,11 +45,17 @@ type fieldFlow struct {
 	handled map[ast.Node]bool
 }
 
-// run classifies every access in the module.
+// run classifies every access in the module. Test files (present only
+// in -tests mode) are out of scope: a test reading a counter does not
+// make the counter a reported metric, and a test writing a knob does
+// not make the knob covered.
 func (ff *fieldFlow) run() {
 	ff.handled = map[ast.Node]bool{}
 	for _, p := range ff.mod.Pkgs {
 		for _, f := range p.Files {
+			if ff.mod.isTestFile(f) {
+				continue
+			}
 			ff.file(p, f)
 		}
 	}

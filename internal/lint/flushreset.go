@@ -1,0 +1,309 @@
+package lint
+
+// The flushreset analyzer statically encodes the flush-at-exit un-ACE
+// argument: RAR can mark runahead work reliability-free only because
+// exitRunahead/doFlush squash every piece of microarchitectural state a
+// runahead interval accumulated. The analyzer computes, over the static
+// call graph,
+//
+//	W = fields written by the runahead-mode writer functions' closures,
+//	R = fields written by the reset/flush functions' closures,
+//
+// and reports every field in W \ R at its declaration: state mutated
+// during runahead that no exit path restores is exactly the residue the
+// contract forbids. A field that legitimately outlives runahead exit
+// (a statistics counter, a consumed-once checkpoint, a poison bit that
+// the next allocation clears) carries //rarlint:survives <reason> on its
+// declaration — and the analyzer keeps those honest too: a survives
+// annotation on a field that is in fact restored (or never
+// runahead-written) is itself a finding, so waivers cannot rot.
+//
+// Writer and reset functions are matched by name in any module package;
+// writes are attributed to the leaf field of the assignment chain
+// (`c.chk.rat = x` writes checkpoint.rat, not Core.chk), and assigning a
+// whole struct value (`*u = uop{}`, `c.chk = checkpoint{...}`) counts as
+// writing every audited field of that struct.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// resetFuncNames are the reset-shaped functions whose closures define
+// the restored set R. Names absent from a module are simply not seeds.
+var resetFuncNames = map[string]bool{
+	"exitRunahead":    true,
+	"doFlush":         true,
+	"discardRunahead": true,
+	"abortRunahead":   true,
+	"squashYounger":   true,
+	"clearWrongPath":  true,
+	"Reset":           true,
+}
+
+// runaheadWriterNames are the functions that only execute on
+// runahead-mode paths; their closures define the written set W.
+var runaheadWriterNames = map[string]bool{
+	"enterRunahead":         true,
+	"dispatchRunahead":      true,
+	"dropRunahead":          true,
+	"drainPRDQ":             true,
+	"redirectRunahead":      true,
+	"squashRunaheadYounger": true,
+}
+
+func flushReset(m *Module) []Diagnostic {
+	fi := buildFuncIndex(m)
+
+	// Seeds, in deterministic source order.
+	var writers, resets []*funcInfo
+	seedPkgs := map[*Package]bool{}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if m.isTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w, r := runaheadWriterNames[fd.Name.Name], resetFuncNames[fd.Name.Name]
+				if !w && !r {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				info := fi.lookup(fn)
+				if info == nil {
+					continue
+				}
+				seedPkgs[p] = true
+				if w {
+					writers = append(writers, info)
+				}
+				if r {
+					resets = append(resets, info)
+				}
+			}
+		}
+	}
+	if len(writers) == 0 || len(resets) == 0 {
+		return nil // not a runahead module: nothing to diff
+	}
+
+	// Audited fields: every field of every named struct declared in a
+	// package holding a seed function, in declaration order.
+	audited := map[*types.Var]bool{}
+	owner := map[*types.Var]string{}
+	var fields []*types.Var
+	for _, p := range m.Pkgs {
+		if !seedPkgs[p] {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || m.isTestPos(tn.Pos()) {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				fv := st.Field(i)
+				audited[fv] = true
+				fields = append(fields, fv)
+				owner[fv] = p.Types.Name() + "." + name
+			}
+		}
+	}
+
+	written := closureWrites(fi, writers, audited)
+	restored := closureWrites(fi, resets, audited)
+
+	// Fields in file/line order, so a directive trailing one field is
+	// claimed by it and never mistaken for a standalone directive above
+	// the next (multi-name declarations on one line share a directive).
+	sort.Slice(fields, func(i, j int) bool {
+		pi, pj := m.Fset.Position(fields[i].Pos()), m.Fset.Position(fields[j].Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	attached := map[*survives]int{}
+	claim := func(filename string, fieldLine int) *survives {
+		for _, l := range []int{fieldLine, fieldLine - 1} {
+			for _, sv := range m.survives[filename][l] {
+				if sv.reason == "" {
+					continue // malformed, already a lint finding
+				}
+				if at, ok := attached[sv]; ok && at != fieldLine {
+					continue
+				}
+				attached[sv] = fieldLine
+				return sv
+			}
+		}
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, fv := range fields {
+		pos := m.Fset.Position(fv.Pos())
+		sv := claim(pos.Filename, pos.Line)
+		byFn, leaks := written[fv]
+		if _, ok := restored[fv]; ok {
+			leaks = false
+		}
+		switch {
+		case leaks && sv != nil:
+			sv.used = true
+		case leaks:
+			diags = append(diags, Diagnostic{Pos: pos, Check: "flushreset",
+				Message: fmt.Sprintf("field %s.%s is written on runahead paths (by %s) but not restored by any exit/flush function: runahead residue would survive exit — restore it or annotate //rarlint:survives <reason>",
+					owner[fv], fv.Name(), byFn)})
+		case sv != nil:
+			diags = append(diags, Diagnostic{Pos: pos, Check: "flushreset",
+				Message: fmt.Sprintf("stale rarlint:survives on %s.%s: the field is restored at runahead exit (or never written on runahead paths); remove the annotation",
+					owner[fv], fv.Name())})
+		}
+	}
+
+	// survives directives attached to nothing audited govern nothing.
+	diags = append(diags, unattachedSurvives(m, attached)...)
+	return diags
+}
+
+// closureWrites returns the audited fields written anywhere in the
+// closures of the seed functions, each mapped to the name of the first
+// function observed writing it (for the diagnostic).
+func closureWrites(fi *funcIndex, seeds []*funcInfo, audited map[*types.Var]bool) map[*types.Var]string {
+	writes := map[*types.Var]string{}
+	visited := map[*funcInfo]bool{}
+	var visit func(info *funcInfo)
+	visit = func(info *funcInfo) {
+		if visited[info] {
+			return
+		}
+		visited[info] = true
+		name := funcName(nil, info.fn)
+		record := func(fv *types.Var) {
+			if audited[fv] {
+				if _, ok := writes[fv]; !ok {
+					writes[fv] = name
+				}
+			}
+		}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					for _, fv := range writtenFields(info.pkg, audited, lhs) {
+						record(fv)
+					}
+				}
+			case *ast.IncDecStmt:
+				for _, fv := range writtenFields(info.pkg, audited, n.X) {
+					record(fv)
+				}
+			}
+			return true
+		})
+		for _, callee := range fi.callees(info) {
+			visit(callee)
+		}
+	}
+	for _, seed := range seeds {
+		visit(seed)
+	}
+	return writes
+}
+
+// writtenFields resolves an assignment target to the audited fields it
+// writes: the leaf field of the selector chain, expanded to all audited
+// fields of a struct when the write replaces a whole struct value.
+func writtenFields(p *Package, audited map[*types.Var]bool, lhs ast.Expr) []*types.Var {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = e.X // element write reaches the container field
+		case *ast.StarExpr:
+			// *ptr = v replaces the whole pointee.
+			if tv, ok := p.Info.Types[e.X]; ok {
+				if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+					return structFields(ptr.Elem(), audited, nil)
+				}
+			}
+			return nil
+		case *ast.SelectorExpr:
+			s := p.Info.Selections[e]
+			if s == nil || s.Kind() != types.FieldVal {
+				return nil
+			}
+			fv, ok := s.Obj().(*types.Var)
+			if !ok {
+				return nil
+			}
+			return structFields(fv.Type(), audited, []*types.Var{fv})
+		default:
+			return nil
+		}
+	}
+}
+
+// structFields appends every audited field of t (recursively, through
+// struct and pointer-to-struct types) to out.
+func structFields(t types.Type, audited map[*types.Var]bool, out []*types.Var) []*types.Var {
+	var walk func(t types.Type)
+	seen := map[types.Type]bool{}
+	walk = func(t types.Type) {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			if !audited[fv] {
+				continue
+			}
+			out = append(out, fv)
+			walk(fv.Type())
+		}
+	}
+	walk(t)
+	return out
+}
+
+// unattachedSurvives reports survives directives that no audited field
+// declaration claimed.
+func unattachedSurvives(m *Module, attached map[*survives]int) []Diagnostic {
+	var diags []Diagnostic
+	for filename, byLine := range m.survives {
+		var lines []int
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, sv := range byLine[line] {
+				if _, ok := attached[sv]; ok || sv.reason == "" {
+					continue // malformed ones are already lint findings
+				}
+				diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "flushreset",
+					Message: "rarlint:survives is not attached to an audited struct field declaration"})
+			}
+		}
+	}
+	return diags
+}

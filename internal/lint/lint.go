@@ -2,21 +2,29 @@
 // enforces the simulator's correctness contracts: determinism of
 // everything feeding the memoized simulation cache, hygiene of the
 // statistics structs that become report columns, coverage of every
-// config knob the experiment sweeps claim to vary, and error-return
-// discipline in the simulator packages.
+// config knob the experiment sweeps claim to vary, error-return
+// discipline in the simulator packages, purity of the stall
+// fast-forward's event computation and the report read paths,
+// completeness of the runahead exit/flush restore set (the paper's
+// un-ACE argument), and dimensional consistency of the metric pipeline.
 //
 // The analyses are whole-module: rarlint loads and type-checks every
-// non-test package of the module with go/parser and go/types (standard
-// library only — no external dependencies), then runs each analyzer over
-// the typed ASTs. Findings carry file:line:column positions; audited
-// exceptions are suppressed in place with
+// package of the module with go/parser and go/types (standard library
+// only — no external dependencies; _test.go files join in with -tests),
+// then runs each analyzer over the typed ASTs. Findings carry
+// file:line:column positions; the source tree talks back through
+// //rarlint: directives —
 //
-//	//rarlint:allow <check> <reason>
+//	//rarlint:allow <check> <reason>    suppress one audited finding
+//	//rarlint:pure                      declare a function side-effect-free
+//	//rarlint:survives <reason>         waive one runahead-residue field
+//	//rarlint:unit <unit-expr>          declare a field's or result's dimension
 //
-// on the flagged line or the line directly above it. rarlint complements
-// the *runtime* invariant auditor in internal/core/audit.go: the auditor
-// checks microarchitectural state while a simulation runs, rarlint proves
-// source-level contracts before anything runs at all.
+// each attached to the governed line or the line directly above it.
+// Malformed and stale directives are themselves findings. rarlint
+// complements the *runtime* invariant auditor in internal/core/audit.go:
+// the auditor checks microarchitectural state while a simulation runs,
+// rarlint proves source-level contracts before anything runs at all.
 package lint
 
 import (
@@ -74,6 +82,21 @@ func Analyzers() []*Analyzer {
 			Doc:  "discarded error returns in non-test internal packages",
 			Run:  errDiscipline,
 		},
+		{
+			Name: "purity",
+			Doc:  "side effects reachable from //rarlint:pure functions (the stall fast-forward's next-event contract)",
+			Run:  purity,
+		},
+		{
+			Name: "flushreset",
+			Doc:  "state written on runahead paths but not restored by exit/flush (the flush-at-exit un-ACE contract)",
+			Run:  flushReset,
+		},
+		{
+			Name: "units",
+			Doc:  "dimensional analysis over //rarlint:unit-annotated stats, energy and metrics expressions",
+			Run:  unitsCheck,
+		},
 	}
 }
 
@@ -102,15 +125,22 @@ func Run(m *Module, checks []string) ([]Diagnostic, error) {
 		enabled[c] = true
 	}
 
+	all := Analyzers()
 	var diags []Diagnostic
-	for _, a := range Analyzers() {
+	for _, a := range all {
 		if len(enabled) > 0 && !enabled[a.Name] {
 			continue
 		}
 		diags = append(diags, a.Run(m)...)
 	}
-	diags = append(diags, m.checkAllowDirectives()...)
+	diags = append(diags, m.checkDirectives()...)
 	diags = m.suppress(diags)
+	if len(enabled) == 0 || len(enabled) == len(all) {
+		// Staleness is decidable only when every check ran: under a
+		// -checks filter an allow for a disabled check is dormant, not
+		// stale.
+		diags = append(diags, m.staleAllows()...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -2,9 +2,14 @@ package lint
 
 // Module loading: discover every package in a Go module, parse it with
 // go/parser and type-check it with go/types, using only the standard
-// library. The loader deliberately skips _test.go files — rarlint's
+// library. The loader skips _test.go files by default — rarlint's
 // contracts are about shipped simulator code — and skips testdata/,
 // vendor/ and hidden directories, mirroring the go tool's own rules.
+// LoadModuleWithTests opts test files in: in-package _test.go files
+// augment their package, external <pkg>_test files become their own
+// package, and Module.isTestFile lets each analyzer decide whether test
+// code is in its scope (determinism and errdiscipline include it; the
+// struct-shape analyses do not).
 
 import (
 	"fmt"
@@ -44,9 +49,33 @@ type Module struct {
 	// Pkgs lists every package, sorted by import path.
 	Pkgs []*Package
 
-	// allows maps filename -> line -> allow directives found in that
+	// Directive indexes: filename -> line -> directives found in that
 	// file's comments (see suppress.go).
-	allows map[string]map[int][]allow
+	allows   map[string]map[int][]*allow
+	pures    map[string]map[int][]*pureDecl
+	survives map[string]map[int][]*survives
+	units    map[string]map[int][]*unitDecl
+	// badVerbs records comments with an unknown //rarlint: verb.
+	badVerbs []Diagnostic
+
+	// testFiles records the _test.go files loaded in tests mode.
+	testFiles map[string]bool
+}
+
+// fileName returns the filename an *ast.File was parsed from.
+func (m *Module) fileName(f *ast.File) string {
+	return m.Fset.Position(f.Package).Filename
+}
+
+// isTestFile reports whether f is a _test.go file (only ever true in
+// tests mode; the default loader does not parse them).
+func (m *Module) isTestFile(f *ast.File) bool {
+	return m.testFiles[m.fileName(f)]
+}
+
+// isTestPos reports whether pos lies in a _test.go file.
+func (m *Module) isTestPos(pos token.Pos) bool {
+	return m.testFiles[m.Fset.Position(pos).Filename]
 }
 
 // IsInternal reports whether p lives under <module>/internal/.
@@ -87,11 +116,24 @@ type loader struct {
 	stdSrc   types.Importer
 	pkgs     map[string]*Package
 	building map[string]bool
+	tests    bool
 }
 
-// LoadModule loads, parses and type-checks every package of the module
-// rooted at dir (which must contain go.mod).
+// LoadModule loads, parses and type-checks every non-test package of
+// the module rooted at dir (which must contain go.mod).
 func LoadModule(dir string) (*Module, error) {
+	return loadModule(dir, false)
+}
+
+// LoadModuleWithTests is LoadModule with _test.go files included:
+// in-package test files join their package's file set, external
+// <pkg>_test files form an extra package with an importable-by-nobody
+// "<path>_test" path.
+func LoadModuleWithTests(dir string) (*Module, error) {
+	return loadModule(dir, true)
+}
+
+func loadModule(dir string, tests bool) (*Module, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -101,10 +143,10 @@ func LoadModule(dir string) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{
-		Path:   modPath,
-		Dir:    dir,
-		Fset:   token.NewFileSet(),
-		allows: map[string]map[int][]allow{},
+		Path:      modPath,
+		Dir:       dir,
+		Fset:      token.NewFileSet(),
+		testFiles: map[string]bool{},
 	}
 	l := &loader{
 		mod:      m,
@@ -112,9 +154,10 @@ func LoadModule(dir string) (*Module, error) {
 		stdSrc:   importer.ForCompiler(m.Fset, "source", nil),
 		pkgs:     map[string]*Package{},
 		building: map[string]bool{},
+		tests:    tests,
 	}
 
-	dirs, err := packageDirs(dir)
+	dirs, err := packageDirs(dir, tests)
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +189,9 @@ func modulePath(gomod string) (string, error) {
 }
 
 // packageDirs returns every directory under root holding at least one
-// non-test .go file, skipping testdata, vendor and hidden directories.
-func packageDirs(root string) ([]string, error) {
+// non-test .go file (any .go file in tests mode), skipping testdata,
+// vendor and hidden directories.
+func packageDirs(root string, tests bool) ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -166,7 +210,7 @@ func packageDirs(root string) ([]string, error) {
 			return err
 		}
 		for _, e := range ents {
-			if goSource(e.Name()) {
+			if goSource(e.Name()) || (tests && goTestSource(e.Name())) {
 				dirs = append(dirs, path)
 				break
 			}
@@ -180,6 +224,11 @@ func packageDirs(root string) ([]string, error) {
 // goSource reports whether name is a non-test Go source file.
 func goSource(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// goTestSource reports whether name is a Go test file.
+func goTestSource(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
 }
 
 // importPathFor maps a module-local directory to its import path.
@@ -241,9 +290,14 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	// In tests mode in-package _test.go files augment the package (safe:
+	// they can never be imported, so importers see a superset), while
+	// external <pkg>_test files become their own package checked after —
+	// and importing — the base one.
+	var files, extFiles []*ast.File
 	for _, e := range ents {
-		if !goSource(e.Name()) {
+		isTest := goTestSource(e.Name())
+		if !goSource(e.Name()) && !(l.tests && isTest) {
 			continue
 		}
 		fname := filepath.Join(dir, e.Name())
@@ -251,31 +305,60 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		l.mod.collectDirectives(fname, f)
+		if isTest {
+			l.mod.testFiles[fname] = true
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				extFiles = append(extFiles, f)
+				continue
+			}
+		}
 		files = append(files, f)
-		l.mod.collectAllows(fname, f)
 	}
-	if len(files) == 0 {
+	if len(files) == 0 && len(extFiles) == 0 {
 		return nil, fmt.Errorf("lint: no Go source in %s", dir)
 	}
 
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-		Scopes:     map[ast.Node]*types.Scope{},
+	check := func(pkgPath string, fs []*ast.File) (*Package, error) {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: l,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(pkgPath, l.mod.Fset, fs, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, typeErrs[0])
+		}
+		return &Package{Path: pkgPath, Dir: dir, Files: fs, Types: tpkg, Info: info}, nil
 	}
-	var typeErrs []error
-	conf := types.Config{
-		Importer: l,
-		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+
+	var p *Package
+	if len(files) > 0 {
+		if p, err = check(path, files); err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = p
 	}
-	tpkg, _ := conf.Check(path, l.mod.Fset, files, info)
-	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	if len(extFiles) > 0 {
+		// The "_test" path suffix keeps the external test package out of
+		// the importable namespace; its imports of the base package hit
+		// the cache entry stored just above.
+		tp, err := check(path+"_test", extFiles)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path+"_test"] = tp
+		if p == nil {
+			p = tp
+		}
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	l.pkgs[path] = p
 	return p, nil
 }

@@ -41,7 +41,7 @@ func statsHygiene(m *Module) []Diagnostic {
 				continue
 			}
 			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() {
+			if !ok || tn.IsAlias() || m.isTestPos(tn.Pos()) {
 				continue
 			}
 			st, ok := tn.Type().Underlying().(*types.Struct)

@@ -1,67 +1,136 @@
 package lint
 
-// Suppression directives. An audited exception is annotated in place:
+// rarlint directives. Every directive is a comment of the form
+// //rarlint:<verb> ... attached to the line it governs (or the line
+// directly above it):
 //
-//	start := time.Now() //rarlint:allow determinism host-side timing only
+//	//rarlint:allow <check> <reason>    suppress one audited finding
+//	//rarlint:pure                      declare a function side-effect-free
+//	//rarlint:survives <reason>         a runahead-written field that
+//	                                    legitimately outlives runahead exit
+//	//rarlint:unit <unit-expr>          dimension of a field or of a
+//	                                    function's result
 //
-// or, on the line directly above the flagged one:
-//
-//	//rarlint:allow errdiscipline best-effort cleanup
-//	os.Remove(tmp.Name())
-//
-// A directive names exactly one check and must carry a reason; rarlint
-// reports malformed directives as findings of the "lint" pseudo-check so
-// a suppression can never silently rot into a blanket waiver.
+// A directive must be well-formed — allow names exactly one existing
+// check and carries a reason, survives carries a reason, unit's
+// expression must parse — and must stay *live*: an allow that no longer
+// suppresses anything and a survives that no longer matches a finding
+// are themselves reported, so a waiver can never silently rot into a
+// blanket exemption. Malformed and stale directives surface as findings
+// of the "lint" pseudo-check, which cannot be suppressed.
 
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
+)
+
+// Directive verbs.
+const (
+	verbAllow    = "allow"
+	verbPure     = "pure"
+	verbSurvives = "survives"
+	verbUnit     = "unit"
 )
 
 // allow is one parsed //rarlint:allow directive.
 type allow struct {
 	check  string
 	reason string
+	used   bool
 }
 
-const allowPrefix = "//rarlint:allow"
+// pureDecl is one parsed //rarlint:pure directive.
+type pureDecl struct {
+	used bool
+}
 
-// collectAllows records every rarlint directive in f, keyed by filename
-// and line, for suppression matching and directive validation.
-func (m *Module) collectAllows(filename string, f *ast.File) {
+// survives is one parsed //rarlint:survives directive.
+type survives struct {
+	reason string
+	used   bool
+}
+
+// unitDecl is one parsed //rarlint:unit directive.
+type unitDecl struct {
+	expr string
+	used bool
+}
+
+const directivePrefix = "//rarlint:"
+
+// collectDirectives records every rarlint directive in f, keyed by
+// filename and line, for suppression matching, analyzer consumption and
+// directive validation.
+func (m *Module) collectDirectives(filename string, f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, allowPrefix) {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
 				continue
 			}
-			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			verb := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				verb, rest = rest[:i], rest[i:]
+			} else {
+				rest = ""
+			}
 			fields := strings.Fields(rest)
-			a := allow{}
-			if len(fields) > 0 {
-				a.check = fields[0]
-			}
-			if len(fields) > 1 {
-				a.reason = strings.Join(fields[1:], " ")
-			}
 			line := m.Fset.Position(c.Pos()).Line
-			byLine := m.allows[filename]
-			if byLine == nil {
-				byLine = map[int][]allow{}
-				m.allows[filename] = byLine
+			switch verb {
+			case verbAllow:
+				a := &allow{}
+				if len(fields) > 0 {
+					a.check = fields[0]
+				}
+				if len(fields) > 1 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				addLine(&m.allows, filename, line, a)
+			case verbPure:
+				// Trailing words are commentary.
+				addLine(&m.pures, filename, line, &pureDecl{})
+			case verbSurvives:
+				addLine(&m.survives, filename, line, &survives{reason: strings.Join(fields, " ")})
+			case verbUnit:
+				u := &unitDecl{}
+				if len(fields) > 0 {
+					u.expr = fields[0]
+				}
+				addLine(&m.units, filename, line, u)
+			default:
+				m.badVerbs = append(m.badVerbs, Diagnostic{
+					Pos: positionAt(filename, line), Check: "lint",
+					Message: "unknown rarlint directive //rarlint:" + verb +
+						" (have allow, pure, survives, unit)"})
 			}
-			byLine[line] = append(byLine[line], a)
 		}
 	}
 }
 
-// checkAllowDirectives validates every collected directive: the check
-// name must exist and a reason is mandatory. Violations surface as
-// "lint" findings (which cannot themselves be allow-suppressed), and
-// directives are validated even when -checks disables their check — a
-// typo must not hide behind a filter.
-func (m *Module) checkAllowDirectives() []Diagnostic {
-	var diags []Diagnostic
+// addLine appends v to a filename→line→[]V map, creating levels as
+// needed.
+func addLine[V any](m *map[string]map[int][]V, filename string, line int, v V) {
+	if *m == nil {
+		*m = map[string]map[int][]V{}
+	}
+	byLine := (*m)[filename]
+	if byLine == nil {
+		byLine = map[int][]V{}
+		(*m)[filename] = byLine
+	}
+	byLine[line] = append(byLine[line], v)
+}
+
+// checkDirectives validates every collected directive's syntax: allow
+// needs an existing check name and a reason, survives needs a reason,
+// unit needs a parseable unit expression, and the verb itself must
+// exist. Violations surface as "lint" findings (which cannot themselves
+// be suppressed), and directives are validated even when -checks
+// disables the check they serve — a typo must not hide behind a filter.
+func (m *Module) checkDirectives() []Diagnostic {
+	diags := append([]Diagnostic(nil), m.badVerbs...)
 	for filename, byLine := range m.allows {
 		for line, allows := range byLine {
 			for _, a := range allows {
@@ -80,19 +149,42 @@ func (m *Module) checkAllowDirectives() []Diagnostic {
 			}
 		}
 	}
+	for filename, byLine := range m.survives {
+		for line, svs := range byLine {
+			for _, s := range svs {
+				if s.reason == "" {
+					diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "lint",
+						Message: "rarlint:survives needs a reason"})
+				}
+			}
+		}
+	}
+	for filename, byLine := range m.units {
+		for line, us := range byLine {
+			for _, u := range us {
+				if _, err := parseUnit(u.expr); err != nil {
+					diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "lint",
+						Message: "malformed rarlint:unit: " + err.Error()})
+				}
+			}
+		}
+	}
 	return diags
 }
 
 // suppress drops diagnostics that have a well-formed matching allow
-// directive on their own line or the line directly above.
+// directive on their own line or the line directly above, marking the
+// directive as used for staleness accounting.
 func (m *Module) suppress(diags []Diagnostic) []Diagnostic {
 	matches := func(d Diagnostic, line int) bool {
+		hit := false
 		for _, a := range m.allows[d.Pos.Filename][line] {
-			if a.check == d.Check && a.reason != "" {
-				return true
+			if a.check == d.Check && a.reason != "" && knownCheck(a.check) {
+				a.used = true
+				hit = true
 			}
 		}
-		return false
+		return hit
 	}
 	out := diags[:0]
 	for _, d := range diags {
@@ -102,6 +194,73 @@ func (m *Module) suppress(diags []Diagnostic) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// staleAllows reports every well-formed allow directive that suppressed
+// nothing in this run. Only meaningful when every check ran: under a
+// -checks filter an allow for a disabled check is dormant, not stale.
+func (m *Module) staleAllows() []Diagnostic {
+	var diags []Diagnostic
+	for filename, byLine := range m.allows {
+		for line, allows := range byLine {
+			for _, a := range allows {
+				if a.used || a.check == "" || !knownCheck(a.check) || a.reason == "" {
+					continue // malformed ones are already reported
+				}
+				diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "lint",
+					Message: "stale rarlint:allow " + a.check +
+						": no " + a.check + " finding on this line; remove the directive"})
+			}
+		}
+	}
+	return diags
+}
+
+// pureAt reports whether a pure directive is attached to the given line
+// range (a function declaration spans its doc comment through the line
+// holding the func keyword), marking matched directives used.
+func (m *Module) pureAt(filename string, firstLine, lastLine int) bool {
+	hit := false
+	byLine := m.pures[filename]
+	for line := firstLine; line <= lastLine; line++ {
+		for _, d := range byLine[line] {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// unattachedDirectives reports directives of the given kind that no
+// analyzer claimed: a pure directive floating in the middle of a
+// function, or a unit annotation on a line holding neither a struct
+// field nor a function declaration, silently governs nothing.
+func unattachedDirectives[V any](m *Module, kind string, check string,
+	dirs map[string]map[int][]V, used func(V) bool) []Diagnostic {
+	var diags []Diagnostic
+	for filename, byLine := range dirs {
+		var lines []int
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, d := range byLine[line] {
+				if used(d) {
+					continue
+				}
+				diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: check,
+					Message: "rarlint:" + kind + " is not attached to " + attachTargets[kind]})
+			}
+		}
+	}
+	return diags
+}
+
+// attachTargets documents what each positional directive must annotate.
+var attachTargets = map[string]string{
+	verbPure: "a function declaration",
+	verbUnit: "a struct field or function declaration",
 }
 
 // positionAt fabricates a position for directive-level diagnostics.

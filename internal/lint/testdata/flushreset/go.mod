@@ -1,0 +1,3 @@
+module flushcorpus
+
+go 1.24

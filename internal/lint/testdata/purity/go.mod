@@ -1,0 +1,3 @@
+module puritycorpus
+
+go 1.24

@@ -1,0 +1,134 @@
+// Package sim exercises the purity analyzer: //rarlint:pure closes over
+// the static call graph, so a mutation any number of helpers deep is
+// caught, while writes to locals and value-receiver copies pass.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+type counter struct {
+	n     uint64
+	hist  []uint64
+	index map[string]int
+}
+
+// Clean: value-receiver writes are copies, whitelisted externals are
+// value-pure.
+//
+//rarlint:pure
+func (c counter) score() float64 {
+	c.n++ // value receiver: mutates a copy
+	return math.Sqrt(float64(c.n))
+}
+
+// Clean: reads through a pointer and Sprintf/Itoa are fine.
+//
+//rarlint:pure
+func label(c *counter) string {
+	return fmt.Sprintf("n=%s", strconv.FormatUint(c.n, 10))
+}
+
+// Direct mutation through a pointer receiver.
+//
+//rarlint:pure
+func (c *counter) bump() uint64 {
+	c.n++ //lintwant purity
+	return c.n
+}
+
+// Transitive: the mutation sits three calls below the annotation and
+// depth2/depth3 carry no directive of their own.
+//
+//rarlint:pure
+func depth1(c *counter) uint64 { return depth2(c) }
+
+func depth2(c *counter) uint64 { return depth3(c) }
+
+func depth3(c *counter) uint64 {
+	c.n = 0 //lintwant purity
+	return c.n
+}
+
+// Appending to a slice that is visible to the caller.
+//
+//rarlint:pure
+func record(c *counter) int {
+	c.hist = append(c.hist, c.n) //lintwant purity
+	return len(c.hist)
+}
+
+// Map storage is shared no matter how it is reached.
+//
+//rarlint:pure
+func index(c *counter, k string) int {
+	c.index[k] = 1 //lintwant purity
+	return c.index[k]
+}
+
+//rarlint:pure
+func drop(c *counter, k string) bool {
+	delete(c.index, k) //lintwant purity
+	return len(c.index) == 0
+}
+
+type reader interface{ value() uint64 }
+
+// An interface method's dynamic target is unknowable statically.
+//
+//rarlint:pure
+func viaInterface(r reader) uint64 {
+	return r.value() //lintwant purity
+}
+
+// So is a function value's.
+//
+//rarlint:pure
+func viaFuncValue(f func() uint64) uint64 {
+	return f() //lintwant purity
+}
+
+//rarlint:pure
+func notify(ch chan uint64) {
+	ch <- 1 //lintwant purity
+}
+
+// An external call outside the whitelist.
+//
+//rarlint:pure
+func shout(c *counter) {
+	fmt.Println(c.n) //lintwant purity
+}
+
+// Suppression interplay: an audited waiver silences one finding.
+//
+//rarlint:pure
+func waived(c *counter) uint64 {
+	c.n++ //rarlint:allow purity corpus example of an audited waiver
+	return c.n
+}
+
+type grid struct{ cells [4]uint64 }
+
+// Clean: an array write through a value receiver stays in the copy.
+//
+//rarlint:pure
+func (g grid) sum() uint64 {
+	var t uint64
+	for _, v := range g.cells {
+		t += v
+	}
+	g.cells[0] = t
+	return t
+}
+
+// A floating directive governs nothing and is reported.
+func plain() uint64 {
+	x := uint64(1)
+	//lintwant purity
+	//rarlint:pure
+	x++
+	return x
+}

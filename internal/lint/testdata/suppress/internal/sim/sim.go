@@ -40,8 +40,10 @@ func nameless() time.Time {
 }
 
 // A valid directive two lines above the finding does not reach it:
-// suppression is same-line or line-above only.
+// suppression is same-line or line-above only — and an allow that
+// suppresses nothing is itself reported as stale.
 func farAway() time.Time {
+	//lintwant lint
 	//rarlint:allow determinism valid reason but too far from the call
 
 	return time.Now() //lintwant determinism

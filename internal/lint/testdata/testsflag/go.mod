@@ -1,0 +1,3 @@
+module testsflagcorpus
+
+go 1.24

@@ -1,0 +1,16 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"testsflagcorpus/internal/sim"
+)
+
+// TestRand uses the global math/rand source: an external-test-package
+// file the -tests loader must type-check as sim_test and surface.
+func TestRand(t *testing.T) {
+	if sim.Tick(rand.Int63()) == 0 {
+		t.Fatal("tick")
+	}
+}

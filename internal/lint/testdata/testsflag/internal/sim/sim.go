@@ -1,0 +1,9 @@
+// Package sim is clean on its own; the determinism violations live in
+// the test files beside it, which only the -tests loader sees. The
+// corpus harness loads this module without tests and must find nothing;
+// the -tests CLI test loads it with tests and must find exactly the
+// violations in sim_test.go and ext_test.go.
+package sim
+
+// Tick is trivially deterministic.
+func Tick(n int64) int64 { return n + 1 }

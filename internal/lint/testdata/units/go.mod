@@ -1,0 +1,3 @@
+module unitscorpus
+
+go 1.24

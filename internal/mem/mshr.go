@@ -74,6 +74,8 @@ func (m *MSHRs) Allocate(addr, now, fillAt uint64) bool {
 // clock may skip: every DRAM/LLC return time is registered here, so no
 // data arrival can fall inside a skipped window. Read-only: unlike the
 // access paths it does not reap expired entries.
+//
+//rarlint:pure
 func (m *MSHRs) NextFillAt(now uint64) (fillAt uint64, ok bool) {
 	for i := range m.entries {
 		if !m.entries[i].valid || m.entries[i].fillAt <= now {
@@ -87,6 +89,8 @@ func (m *MSHRs) NextFillAt(now uint64) (fillAt uint64, ok bool) {
 }
 
 // Outstanding returns the number of in-flight misses at cycle now.
+//
+//rarlint:pure
 func (m *MSHRs) Outstanding(now uint64) int {
 	n := 0
 	for i := range m.entries {
@@ -98,13 +102,21 @@ func (m *MSHRs) Outstanding(now uint64) int {
 }
 
 // Size returns the register count.
+//
+//rarlint:pure
 func (m *MSHRs) Size() int { return m.size }
 
 // FullStalls returns how many allocations failed because the file was full.
+//
+//rarlint:pure
 func (m *MSHRs) FullStalls() uint64 { return m.full }
 
 // Merges returns how many misses merged with an in-flight entry.
+//
+//rarlint:pure
 func (m *MSHRs) Merges() uint64 { return m.merges }
 
 // Peak returns the peak simultaneous occupancy observed.
+//
+//rarlint:pure
 func (m *MSHRs) Peak() int { return m.peak }

@@ -94,11 +94,17 @@ func (t *Table) WriteCSV(w io.Writer) {
 }
 
 // F formats a float with three decimals, for ad-hoc rows.
+//
+//rarlint:pure
 func F(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 // X formats a ratio as "N.NNx".
+//
+//rarlint:pure
 func X(v float64) string { return fmt.Sprintf("%.2fx", v) }
 
 // Pct formats a ratio-relative-to-1 as a signed percentage
 // (1.335 -> "+33.5%").
+//
+//rarlint:pure
 func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", (v-1)*100) }
