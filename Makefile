@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench bench-smoke microbench clean
+.PHONY: ci vet lint build test race bench bench-smoke serve-smoke microbench clean
 
 ci: vet lint build race
 
@@ -36,6 +36,13 @@ bench:
 # output discarded — proves the harness runs, measures nothing.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -o -
+
+# serve-smoke stands up rarserved (race-instrumented, ephemeral port),
+# drives it with rarload's hot/cold mix, and fails on any request error,
+# missing cross-request dedup, a warm wave that re-simulates, or an
+# unclean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # microbench keeps the old go-test microbenchmarks reachable.
 microbench:

@@ -12,6 +12,7 @@ package multicore
 
 import (
 	"fmt"
+	"math"
 
 	"rarsim/internal/config"
 	"rarsim/internal/core"
@@ -98,6 +99,11 @@ func (s *System) Run(instructions uint64) ([]core.Stats, error) {
 // Equation 4), so
 //
 //	MTTF_rel = Σ_i AVF_base_i·N_i / Σ_i AVF_i·N_i.
+//
+// A zero denominator (no cores, or a run with no derated failure rate at
+// all) has no meaningful ratio: the result is NaN, never a fake "worst
+// possible" 0 — the same zero-collapse family HarmMean/GeoMean already
+// guard against.
 func ChipMTTFRel(baseline, system []core.Stats) float64 {
 	var num, den float64
 	for i := range baseline {
@@ -107,13 +113,15 @@ func ChipMTTFRel(baseline, system []core.Stats) float64 {
 		den += system[i].AVF() * float64(system[i].TotalBits)
 	}
 	if den == 0 {
-		return 0
+		return math.NaN()
 	}
 	return num / den
 }
 
 // ChipThroughputRel returns the chip's aggregate instruction throughput
-// relative to a baseline run of the same workloads.
+// relative to a baseline run of the same workloads. A zero baseline
+// (no cores, or cores that committed nothing) yields NaN: "relative to
+// nothing" is undefined, and 0 would silently read as a total stall.
 func ChipThroughputRel(baseline, system []core.Stats) float64 {
 	var base, sys float64
 	for i := range baseline {
@@ -123,7 +131,7 @@ func ChipThroughputRel(baseline, system []core.Stats) float64 {
 		sys += system[i].IPC()
 	}
 	if base == 0 {
-		return 0
+		return math.NaN()
 	}
 	return sys / base
 }

@@ -1,6 +1,7 @@
 package multicore
 
 import (
+	"math"
 	"testing"
 
 	"rarsim/internal/config"
@@ -116,5 +117,42 @@ func TestHeterogeneousChip(t *testing.T) {
 func TestEmptySystem(t *testing.T) {
 	if _, err := New(config.Baseline(), nil, 1); err == nil {
 		t.Error("empty workload list must error")
+	}
+}
+
+// TestChipRelZeroDenominators pins the zero-collapse fix: a zero
+// denominator (empty chip, or a run with no derated failure rate /
+// no committed work) must read as NaN — unmistakably "undefined" — not
+// as 0, which a report would silently render as the worst possible
+// chip. Same family as the HarmMean/GeoMean fix of PR 1.
+func TestChipRelZeroDenominators(t *testing.T) {
+	live := core.Stats{Cycles: 1000, Committed: 500, TotalABC: 4000, TotalBits: 1 << 20}
+	dead := core.Stats{} // no cycles, no bits: AVF and IPC both 0
+
+	cases := []struct {
+		name             string
+		fn               func(baseline, system []core.Stats) float64
+		baseline, system []core.Stats
+		wantNaN          bool
+		want             float64
+	}{
+		{"mttf empty chips", ChipMTTFRel, nil, nil, true, 0},
+		{"mttf zero-AVF system", ChipMTTFRel, []core.Stats{live}, []core.Stats{dead}, true, 0},
+		{"mttf empty system", ChipMTTFRel, []core.Stats{live}, nil, true, 0},
+		{"mttf self is one", ChipMTTFRel, []core.Stats{live}, []core.Stats{live}, false, 1},
+		{"throughput empty chips", ChipThroughputRel, nil, nil, true, 0},
+		{"throughput zero baseline", ChipThroughputRel, []core.Stats{dead}, []core.Stats{live}, true, 0},
+		{"throughput self is one", ChipThroughputRel, []core.Stats{live}, []core.Stats{live}, false, 1},
+		{"throughput stalled system is zero", ChipThroughputRel, []core.Stats{live}, []core.Stats{dead}, false, 0},
+	}
+	for _, tc := range cases {
+		got := tc.fn(tc.baseline, tc.system)
+		if tc.wantNaN {
+			if !math.IsNaN(got) {
+				t.Errorf("%s = %v, want NaN", tc.name, got)
+			}
+		} else if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package serve
+
+// Request-latency tracking: a fixed ring of the most recent matrix
+// request durations, summarised as p50/p99 on demand. A ring (rather
+// than an unbounded log or a decaying histogram) keeps the server
+// allocation-free per request and the percentiles representative of
+// *recent* traffic — exactly what the cold→warm latency drop should
+// show up in.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const latencyWindow = 1024
+
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latencyWindow]time.Duration
+	n   uint64 // total recorded; buf[i] valid for i < min(n, latencyWindow)
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%latencyWindow] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the recorded window (zeros when
+// nothing has been recorded yet).
+func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	n := int(r.n)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[(n-1)*50/100], window[(n-1)*99/100]
+}

@@ -82,8 +82,20 @@ func KeyFor(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, opt Op
 // of every struct that participates in a persisted cache entry. It
 // changes whenever config.Core, config.Scheme, trace.Benchmark, Options
 // or core.Stats gain, lose or retype a field, which silently retires any
-// on-disk cache written by a previous build.
+// on-disk cache written by a previous build. The reflection walk is
+// constant within a build, so the result is computed once (it sits on
+// the server's per-request ETag path).
 func SchemaHash() string {
+	schemaHashOnce.Do(func() { schemaHash = computeSchemaHash() })
+	return schemaHash
+}
+
+var (
+	schemaHashOnce sync.Once
+	schemaHash     string
+)
+
+func computeSchemaHash() string {
 	h := fnv.New64a()
 	seen := map[reflect.Type]bool{}
 	var walk func(t reflect.Type)
@@ -135,15 +147,26 @@ type Metrics struct {
 	Hits uint64
 	// DiskHits counts the subset of Hits loaded from the on-disk cache.
 	DiskHits uint64
-	// Errors counts failed simulations (never cached). Failures already
-	// surface to callers through Run's error return; this counter exists
-	// for engine observability and is consumed by engine clients/tests.
-	Errors uint64 //rarlint:allow statshygiene observability counter; failures surface via Run's error return
-	// Unique is the number of distinct cells currently held in memory.
+	// Errors counts failed simulations (never cached as results). Failures
+	// already surface to callers through Run's error return; this counter
+	// exists for engine observability and is consumed by engine clients.
+	Errors uint64
+	// ErrHits counts requests answered from the negative cache: the cell
+	// failed recently and SetFailureTTL told the engine to remember that
+	// instead of re-simulating (the server turns these into 503s).
+	ErrHits uint64
+	// Unique is the number of distinct cells currently held in memory
+	// (including, under a failure TTL, cached failures).
 	Unique int
 	// SimTime is the cumulative wall-clock time spent inside the
 	// simulator (summed across parallel workers).
 	SimTime time.Duration
+	// DiskEntries, DiskBytes and Evicted describe the persistent store:
+	// current occupancy and how many cell files LRU eviction has removed.
+	// All zero on a memory-only engine.
+	DiskEntries int
+	DiskBytes   int64
+	Evicted     uint64
 }
 
 // CellProgress describes one completed cell lookup, for progress
@@ -164,12 +187,35 @@ type CellProgress struct {
 
 // cellEntry is one memoized (or in-flight) cell. done is closed when
 // stats/err are final; waiters block on it without holding the engine
-// lock, so distinct cells simulate concurrently.
+// lock, so distinct cells simulate concurrently. stats and err are
+// published under the engine lock before done is closed, so both the
+// post-done read (ordered by the close) and the locked fast-path read in
+// Run are race-free.
 type cellEntry struct {
 	done  chan struct{}
 	stats core.Stats
 	err   error
+	// expires is the negative-cache deadline of a failed cell; zero for
+	// successes and for failures recorded without a failure TTL.
+	expires time.Time
 }
+
+// FailedCellError is the error returned for a cell under a failure TTL
+// (SetFailureTTL): the simulation failed — just now, or recently enough
+// that the negative cache is still holding the result — and the cell
+// will not be retried until RetryAfter elapses. Servers map this onto
+// HTTP 503 + Retry-After.
+type FailedCellError struct {
+	Key        CellKey
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (e *FailedCellError) Error() string {
+	return fmt.Sprintf("%s failed (retry after %s): %v", e.Key, e.RetryAfter.Round(time.Millisecond), e.Err)
+}
+
+func (e *FailedCellError) Unwrap() error { return e.Err }
 
 // Engine memoizes simulation cells. It is safe for concurrent use; an
 // engine shared across experiment matrices simulates each unique cell
@@ -184,7 +230,17 @@ type Engine struct {
 	mu    sync.Mutex
 	cells map[CellKey]*cellEntry
 	m     Metrics
-	dir   string // versioned persistence directory; "" = memory only
+	dir   string     // versioned persistence directory; "" = memory only
+	store *diskStore // LRU index over dir; nil = memory only
+
+	// failTTL > 0 keeps failed cells in a negative cache for that long
+	// (see SetFailureTTL); 0 restores the historical delete-and-retry.
+	failTTL time.Duration
+
+	// now is the wall clock used for negative-cache expiry; replaced in
+	// tests. It is host-side timing only: expiry never enters simulated
+	// state or the cache key.
+	now func() time.Time
 
 	// runCell performs one simulation; replaced in tests.
 	runCell func(config.Core, config.Scheme, trace.Benchmark, Options) (core.Stats, error)
@@ -195,22 +251,51 @@ func NewEngine() *Engine {
 	return &Engine{
 		cells:   make(map[CellKey]*cellEntry),
 		runCell: Run,
+		now:     time.Now,
 	}
 }
+
+// SetFailureTTL enables negative-result caching: a failed cell's error is
+// remembered for d, and every request inside that window is answered
+// with a FailedCellError immediately instead of re-running a simulation
+// that just demonstrably failed. Without it, N queued requests for a
+// failing cell retry the full simulation back-to-back — a thundering
+// herd a long-running server cannot afford. d <= 0 restores the
+// historical behaviour (failures forgotten immediately, every request
+// retries). Set before the engine is shared across goroutines.
+func (e *Engine) SetFailureTTL(d time.Duration) { e.failTTL = d }
 
 // NewPersistentEngine returns an engine that additionally persists every
 // simulated cell as JSON under dir/v-<schema hash>/, and warm-starts
 // from entries found there. Entries written by a build with different
 // struct shapes live under a different schema directory and are never
-// read.
+// read. Startup sweeps ".cell-*" temp files abandoned by a process
+// killed mid-write and indexes the surviving cells for LRU eviction
+// (budgets default to unbounded; see SetDiskBudget).
 func NewPersistentEngine(dir string) (*Engine, error) {
 	sub := filepath.Join(dir, "v-"+SchemaHash())
 	if err := os.MkdirAll(sub, 0o755); err != nil {
 		return nil, fmt.Errorf("sim: cache dir: %w", err)
 	}
+	store, err := newDiskStore(sub)
+	if err != nil {
+		return nil, fmt.Errorf("sim: cache scan: %w", err)
+	}
 	e := NewEngine()
 	e.dir = sub
+	e.store = store
 	return e, nil
+}
+
+// SetDiskBudget bounds the persistent store: at most maxEntries cell
+// files totalling at most maxBytes (0 = unbounded for either). Once a
+// write pushes the store over budget, least-recently-used cells are
+// evicted; an evicted cell simply re-simulates on next request, so the
+// budget bounds disk, never correctness. No-op on a memory-only engine.
+func (e *Engine) SetDiskBudget(maxBytes int64, maxEntries int) {
+	if e.store != nil {
+		e.store.setBudget(maxBytes, maxEntries)
+	}
 }
 
 // CacheDir returns the engine's versioned persistence directory, or ""
@@ -223,23 +308,45 @@ func (e *Engine) Metrics() Metrics {
 	defer e.mu.Unlock()
 	m := e.m
 	m.Unique = len(e.cells)
+	if e.store != nil {
+		m.DiskEntries, m.DiskBytes, m.Evicted = e.store.gauges()
+	}
 	return m
 }
 
 // Run returns the statistics of one cell, simulating it only if no
 // earlier call (or persisted entry) already did. Concurrent calls with
 // the same key share a single simulation. Errors are returned to every
-// waiter but never cached: a later call retries.
+// waiter; under a failure TTL (SetFailureTTL) they are additionally held
+// in a negative cache for the TTL and surfaced as *FailedCellError, so
+// at most one simulation of a failing cell runs per retry window.
+// Without a TTL a failure is forgotten immediately and a later call
+// retries.
 func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmark, opt Options) (core.Stats, error) {
 	key := KeyFor(cfg, scheme, bench, opt)
 
 	e.mu.Lock()
-	if ent, ok := e.cells[key]; ok {
+	ent, ok := e.cells[key]
+	if ok && ent.err != nil {
+		// A resolved failure sits in the negative cache (only failure
+		// entries outlive their runner with err set; in-flight entries
+		// publish err strictly under this lock, before closing done).
+		if rem := ent.expires.Sub(e.now()); rem > 0 {
+			e.m.ErrHits++
+			e.mu.Unlock()
+			return core.Stats{}, &FailedCellError{Key: key, Err: ent.err, RetryAfter: rem}
+		}
+		ok = false // retry window over: fall through and re-simulate
+	}
+	if ok {
 		e.mu.Unlock()
 		<-ent.done
 		if ent.err != nil {
 			// The shared simulation failed. The runner counted the error;
 			// this waiter served nothing, so it must not count a hit.
+			if e.failTTL > 0 {
+				return core.Stats{}, &FailedCellError{Key: key, Err: ent.err, RetryAfter: e.failTTL}
+			}
 			return core.Stats{}, ent.err
 		}
 		e.mu.Lock()
@@ -248,14 +355,14 @@ func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmar
 		e.progress(key, "mem", 0, ent.stats)
 		return ent.stats, nil
 	}
-	ent := &cellEntry{done: make(chan struct{})}
+	ent = &cellEntry{done: make(chan struct{})}
 	e.cells[key] = ent
 	e.mu.Unlock()
 
 	// Miss: try the persistent cache, then simulate.
 	if st, ok := e.loadDisk(key); ok {
-		ent.stats = st
 		e.mu.Lock()
+		ent.stats = st
 		e.m.Hits++
 		e.m.DiskHits++
 		e.mu.Unlock()
@@ -270,15 +377,21 @@ func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmar
 	start := time.Now() //rarlint:allow determinism host-side timing; never enters simulated state or the cache
 	st, err := e.runCell(cfg, scheme, bench, opt)
 	dur := time.Since(start) //rarlint:allow determinism host-side timing; never enters simulated state or the cache
-	ent.stats, ent.err = st, err
 
 	e.mu.Lock()
+	ent.stats, ent.err = st, err
 	if err != nil {
-		// A failed cell must never serve its zero-value stats: drop the
-		// entry entirely so later requests retry rather than reading
-		// garbage.
-		delete(e.cells, key)
 		e.m.Errors++
+		if e.failTTL > 0 {
+			// Hold the failure: requests inside the window are answered
+			// from the negative cache instead of re-simulating.
+			ent.expires = e.now().Add(e.failTTL)
+		} else {
+			// A failed cell must never serve its zero-value stats: drop
+			// the entry entirely so later requests retry rather than
+			// reading garbage.
+			delete(e.cells, key)
+		}
 	} else {
 		e.m.Simulated++
 		e.m.SimTime += dur
@@ -286,6 +399,9 @@ func (e *Engine) Run(cfg config.Core, scheme config.Scheme, bench trace.Benchmar
 	e.mu.Unlock()
 	close(ent.done)
 	if err != nil {
+		if e.failTTL > 0 {
+			return core.Stats{}, &FailedCellError{Key: key, Err: err, RetryAfter: e.failTTL}
+		}
 		return core.Stats{}, err
 	}
 	e.storeDisk(key, st, dur)
@@ -338,18 +454,23 @@ func sanitize(s string) string {
 
 // loadDisk reads a persisted cell, validating that the stored key is
 // exactly the requested one (guarding against filename collisions and
-// hand-edited files). Any failure is a plain miss.
+// hand-edited files). Any failure is a plain miss. A hit refreshes the
+// cell's LRU position.
 func (e *Engine) loadDisk(key CellKey) (core.Stats, bool) {
 	if e.dir == "" {
 		return core.Stats{}, false
 	}
-	data, err := os.ReadFile(e.cellPath(key))
+	path := e.cellPath(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return core.Stats{}, false
 	}
 	var dc diskCell
 	if err := json.Unmarshal(data, &dc); err != nil || dc.Key != key {
 		return core.Stats{}, false
+	}
+	if e.store != nil {
+		e.store.touch(path)
 	}
 	return dc.Stats, true
 }
@@ -381,6 +502,10 @@ func (e *Engine) storeDisk(key CellKey, st core.Stats, dur time.Duration) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		//rarlint:allow errdiscipline best-effort temp-file cleanup on an already-degraded path
 		os.Remove(tmp.Name())
+		return
+	}
+	if e.store != nil {
+		e.store.add(path, int64(len(data)))
 	}
 }
 
@@ -392,6 +517,16 @@ func (e *Engine) storeDisk(key CellKey, st core.Stats, dur time.Duration) {
 // failed cell (scheduling of new cells stops at the first failure, but
 // in-flight cells that also fail are reported too).
 func (e *Engine) RunMatrix(cores []config.Core, schemes []config.Scheme, benches []trace.Benchmark, opt Options) (*ResultSet, error) {
+	return e.RunMatrixOn(nil, cores, schemes, benches, opt)
+}
+
+// RunMatrixOn is RunMatrix gated by a shared worker pool: the matrix
+// still schedules at most opt.Parallelism cells of its own, but every
+// simulation additionally occupies a pool slot, so concurrent matrices —
+// the server's concurrent requests — share one process-wide concurrency
+// budget instead of each bringing their own. A nil pool reproduces
+// RunMatrix exactly.
+func (e *Engine) RunMatrixOn(pool *Pool, cores []config.Core, schemes []config.Scheme, benches []trace.Benchmark, opt Options) (*ResultSet, error) {
 	type job struct {
 		cfg    config.Core
 		scheme config.Scheme
@@ -433,7 +568,9 @@ func (e *Engine) RunMatrix(cores []config.Core, schemes []config.Scheme, benches
 			next++
 			mu.Unlock()
 
-			st, err := e.Run(j.cfg, j.scheme, j.bench, opt)
+			var st core.Stats
+			var err error
+			pool.Do(func() { st, err = e.Run(j.cfg, j.scheme, j.bench, opt) })
 			mu.Lock()
 			switch {
 			case err != nil:

@@ -1,0 +1,36 @@
+package sim
+
+// HTTP entity tags for simulation results. Simulations are deterministic
+// in their CellKey and the build's struct schema — that is the exact
+// soundness condition the memo cache already rests on — so a strong ETag
+// can be derived purely from the *request identity*, before any cell is
+// computed: equal tags imply byte-identical result matrices. That lets
+// the matrix server answer If-None-Match revalidations with 304 without
+// touching the cache, the pool, or the simulator, even for cells it has
+// never simulated.
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ETag returns a strong entity tag identifying this cell's result
+// content: the engine schema hash (the build's struct shapes, which
+// decide the result's JSON form) combined with the full cell key (names,
+// options and the content hash of core config, scheme and benchmark).
+func (k CellKey) ETag() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%#v", SchemaHash(), k)
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
+}
+
+// MatrixETag combines the cell keys of one matrix request, in request
+// order, into a single strong entity tag for the whole response.
+func MatrixETag(keys []CellKey) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", SchemaHash())
+	for _, k := range keys {
+		fmt.Fprintf(h, "\x00%#v", k)
+	}
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rarsim/internal/config"
+)
+
+// TestETags pins the entity-tag contract: strong (quoted), stable for
+// equal keys, different for any key difference, and sensitive to matrix
+// composition and order.
+func TestETags(t *testing.T) {
+	cfg := config.Baseline()
+	benches := twoBenches(t)
+	opt := smallOpt()
+	k1 := KeyFor(cfg, config.OoO, benches[0], opt)
+	k2 := KeyFor(cfg, config.RAR, benches[0], opt)
+
+	tag := k1.ETag()
+	if !strings.HasPrefix(tag, `"`) || !strings.HasSuffix(tag, `"`) || len(tag) != 18 {
+		t.Errorf("ETag %q not a quoted 16-hex strong tag", tag)
+	}
+	if k1.ETag() != tag {
+		t.Error("ETag must be deterministic")
+	}
+	if k2.ETag() == tag {
+		t.Error("different cells must carry different tags")
+	}
+	o2 := opt
+	o2.Seed++
+	if KeyFor(cfg, config.OoO, benches[0], o2).ETag() == tag {
+		t.Error("a seed change must change the tag")
+	}
+
+	m1 := MatrixETag([]CellKey{k1, k2})
+	if m1 != MatrixETag([]CellKey{k1, k2}) {
+		t.Error("MatrixETag must be deterministic")
+	}
+	if m1 == MatrixETag([]CellKey{k2, k1}) {
+		t.Error("cell order is part of the response body, so it must be part of the tag")
+	}
+	if m1 == MatrixETag([]CellKey{k1}) {
+		t.Error("matrix composition must change the tag")
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rarsim/internal/config"
+	"rarsim/internal/core"
+	"rarsim/internal/trace"
+)
+
+// TestEngineNegativeCache pins the failed-cell thundering-herd fix: with
+// a failure TTL, N concurrent requests for a deliberately failing cell
+// run exactly one simulation per retry window — the runner fails once,
+// waiters share that failure, and every request inside the window is
+// answered from the negative cache as a FailedCellError with retry-after
+// semantics. Advancing past the TTL permits exactly one more attempt.
+func TestEngineNegativeCache(t *testing.T) {
+	var sims atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := NewEngine()
+	e.SetFailureTTL(time.Minute)
+	var clockMu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	e.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+		if sims.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return core.Stats{}, errors.New("boom")
+	}
+	cfg := config.Baseline()
+	bench := twoBenches(t)[0]
+	opt := smallOpt()
+
+	var wg sync.WaitGroup
+	var failedCellErrs atomic.Int64
+	call := func() {
+		defer wg.Done()
+		_, err := e.Run(cfg, config.RAR, bench, opt)
+		var fce *FailedCellError
+		if !errors.As(err, &fce) {
+			t.Errorf("err = %v (%T), want *FailedCellError", err, err)
+			return
+		}
+		if fce.RetryAfter <= 0 || fce.RetryAfter > time.Minute {
+			t.Errorf("RetryAfter = %v, want in (0, 1m]", fce.RetryAfter)
+		}
+		failedCellErrs.Add(1)
+	}
+
+	// One runner enters the (gated) failing simulation; N more pile on
+	// while it is in flight.
+	wg.Add(1)
+	go call()
+	<-started
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go call()
+	}
+	time.Sleep(20 * time.Millisecond) // let the waiters reach the entry
+	close(release)
+	wg.Wait()
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("simulated %d times during the first window, want exactly 1", n)
+	}
+	if n := failedCellErrs.Load(); n != waiters+1 {
+		t.Errorf("%d callers saw FailedCellError, want %d", n, waiters+1)
+	}
+
+	// Still inside the window: requests are negative-cache hits, with a
+	// RetryAfter that shrinks as the clock advances.
+	clockMu.Lock()
+	now = now.Add(40 * time.Second)
+	clockMu.Unlock()
+	const inWindow = 5
+	for i := 0; i < inWindow; i++ {
+		_, err := e.Run(cfg, config.RAR, bench, opt)
+		var fce *FailedCellError
+		if !errors.As(err, &fce) {
+			t.Fatalf("in-window err = %v, want *FailedCellError", err)
+		}
+		if fce.RetryAfter != 20*time.Second {
+			t.Errorf("RetryAfter = %v, want 20s remaining", fce.RetryAfter)
+		}
+	}
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("in-window requests re-simulated (%d sims)", n)
+	}
+	m := e.Metrics()
+	if m.ErrHits != inWindow || m.Errors != 1 || m.Hits != 0 {
+		t.Errorf("metrics = %+v, want %d errHits, 1 error, 0 hits", m, inWindow)
+	}
+
+	// Past the TTL: concurrent retries collapse onto exactly one new
+	// simulation (window two).
+	clockMu.Lock()
+	now = now.Add(time.Minute)
+	clockMu.Unlock()
+	const retriers = 6
+	for i := 0; i < retriers; i++ {
+		wg.Add(1)
+		go call()
+	}
+	wg.Wait()
+	if n := sims.Load(); n != 2 {
+		t.Errorf("simulated %d times across two windows, want exactly 2", n)
+	}
+}
+
+// TestEngineFailureTTLZeroKeepsRetrySemantics: without a TTL the engine
+// behaves as it always has — failures are forgotten immediately, errors
+// are plain (not FailedCellError), and a retry re-simulates.
+func TestEngineFailureTTLZeroKeepsRetrySemantics(t *testing.T) {
+	var sims atomic.Int64
+	e := NewEngine()
+	e.runCell = func(cfg config.Core, s config.Scheme, b trace.Benchmark, o Options) (core.Stats, error) {
+		sims.Add(1)
+		return core.Stats{}, errors.New("boom")
+	}
+	cfg := config.Baseline()
+	bench := twoBenches(t)[0]
+	opt := smallOpt()
+	for i := 0; i < 3; i++ {
+		_, err := e.Run(cfg, config.RAR, bench, opt)
+		var fce *FailedCellError
+		if errors.As(err, &fce) {
+			t.Fatalf("TTL-less engine returned FailedCellError: %v", err)
+		}
+		if err == nil {
+			t.Fatal("failing cell returned nil error")
+		}
+	}
+	if n := sims.Load(); n != 3 {
+		t.Errorf("simulated %d times, want 3 (every request retries)", n)
+	}
+	if m := e.Metrics(); m.Unique != 0 {
+		t.Errorf("failed cells left %d entries in memory, want 0", m.Unique)
+	}
+}

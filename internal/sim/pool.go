@@ -1,0 +1,83 @@
+package sim
+
+// Pool is the bounded worker pool that caps how many simulations run at
+// once *process-wide*. RunMatrix always bounded its own cells, but every
+// matrix brought its own budget: two concurrent matrices (or, in the
+// matrix server, two concurrent requests) would happily oversubscribe the
+// machine 2x. A Pool is the extracted, shareable version of that budget:
+// every simulation occupies one slot no matter which matrix or request
+// asked for it, and the slot count — not the request count — decides how
+// hard the host works. Combined with the Engine's cross-call singleflight
+// this is what makes the server's concurrency story composable: requests
+// fan out freely, dedup collapses identical cells, and the pool meters
+// whatever survives onto the CPUs.
+//
+// Queued and Active are exposed as gauges so a server can report queueing
+// pressure separately from simulation work (the "p99 dominated by
+// simulation, not queueing" target needs both numbers).
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool bounds concurrent simulation work. The zero value is not usable;
+// construct with NewPool. A nil *Pool is accepted by the methods below
+// and means "no shared bound" (each matrix bounds only itself).
+type Pool struct {
+	sem    chan struct{}
+	queued atomic.Int64
+	active atomic.Int64
+}
+
+// NewPool returns a pool with the given number of worker slots; size <= 0
+// uses GOMAXPROCS.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Size returns the number of worker slots.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.sem)
+}
+
+// Do runs f from the calling goroutine once a worker slot is free,
+// blocking while the pool is saturated. A nil pool runs f immediately.
+func (p *Pool) Do(f func()) {
+	if p == nil {
+		f()
+		return
+	}
+	p.queued.Add(1)
+	p.sem <- struct{}{}
+	p.queued.Add(-1)
+	p.active.Add(1)
+	defer func() {
+		p.active.Add(-1)
+		<-p.sem
+	}()
+	f()
+}
+
+// Queued reports how many callers are blocked waiting for a slot — the
+// server's queue depth.
+func (p *Pool) Queued() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.queued.Load())
+}
+
+// Active reports how many slots are currently executing work.
+func (p *Pool) Active() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.active.Load())
+}

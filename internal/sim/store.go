@@ -1,0 +1,167 @@
+package sim
+
+// Disk persistence for the memoizing engine, promoted from "write-only
+// JSON dump" to a content-addressed cache an always-on server can live
+// with:
+//
+//   - orphan sweep: storeDisk writes are atomic (temp file + rename), but
+//     a process killed between CreateTemp and Rename leaves a ".cell-*"
+//     file behind forever. NewPersistentEngine sweeps them on startup —
+//     any temp file present before this process created its first one is
+//     by definition abandoned.
+//   - LRU eviction: optional size and entry-count budgets
+//     (SetDiskBudget). The store indexes every cell file with a logical
+//     access clock (seeded from file mtimes at startup, bumped on every
+//     load and store), and evicts least-recently-used files once a write
+//     pushes it over budget. Eviction only forgets warm-start state — an
+//     evicted cell re-simulates and is re-admitted — so budgets bound
+//     disk, never correctness.
+//
+// The index has its own lock and is touched only outside the engine
+// lock, except for the read-only gauge snapshot in Engine.Metrics.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// diskStore indexes the cell files under one versioned cache directory.
+type diskStore struct {
+	mu         sync.Mutex
+	maxBytes   int64 // 0 = unbounded
+	maxEntries int   // 0 = unbounded
+	clock      uint64
+	entries    map[string]*diskEnt // keyed by absolute path
+	totalBytes int64
+	evicted    uint64
+}
+
+type diskEnt struct {
+	path   string
+	size   int64
+	access uint64 // logical LRU clock; larger = more recent
+}
+
+// newDiskStore scans dir: it sweeps abandoned ".cell-*" temp files and
+// indexes every existing cell file, ordering their initial LRU positions
+// by modification time so eviction starts from genuinely old entries.
+func newDiskStore(dir string) (*diskStore, error) {
+	list, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type scanned struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var cells []scanned
+	for _, de := range list {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".cell-") {
+			// Abandoned atomic-write temp file: nothing will ever rename
+			// it into place, so it is pure litter.
+			//rarlint:allow errdiscipline best-effort sweep; a surviving orphan only wastes bytes
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent eviction/removal: skip
+		}
+		cells = append(cells, scanned{filepath.Join(dir, name), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].mtime != cells[j].mtime {
+			return cells[i].mtime < cells[j].mtime
+		}
+		return cells[i].path < cells[j].path
+	})
+	s := &diskStore{entries: make(map[string]*diskEnt, len(cells))}
+	for _, c := range cells {
+		s.clock++
+		s.entries[c.path] = &diskEnt{path: c.path, size: c.size, access: s.clock}
+		s.totalBytes += c.size
+	}
+	return s, nil
+}
+
+// touch marks path as most recently used.
+func (s *diskStore) touch(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok := s.entries[path]; ok {
+		s.clock++
+		ent.access = s.clock
+	}
+}
+
+// add records a freshly written cell file and evicts least-recently-used
+// entries until the store is back under budget. The new entry is most
+// recent, so it is only evicted if it alone exceeds the byte budget.
+func (s *diskStore) add(path string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[path]; ok {
+		s.totalBytes -= old.size // rewrite of an existing cell
+	}
+	s.clock++
+	s.entries[path] = &diskEnt{path: path, size: size, access: s.clock}
+	s.totalBytes += size
+	s.evictOverBudget()
+}
+
+// setBudget installs the eviction budgets and immediately trims to them.
+func (s *diskStore) setBudget(maxBytes int64, maxEntries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes, s.maxEntries = maxBytes, maxEntries
+	s.evictOverBudget()
+}
+
+// evictOverBudget removes LRU entries while over either budget. Called
+// with s.mu held. Linear minimum scans keep the index trivially correct;
+// cell files number in the thousands, and eviction runs only on writes.
+func (s *diskStore) evictOverBudget() {
+	over := func() bool {
+		if len(s.entries) == 0 {
+			return false
+		}
+		return (s.maxEntries > 0 && len(s.entries) > s.maxEntries) ||
+			(s.maxBytes > 0 && s.totalBytes > s.maxBytes)
+	}
+	for over() {
+		var lru *diskEnt
+		// The (access, path) comparison is a total order over entries, so
+		// this min-scan picks the same victim under every map iteration
+		// order.
+		//rarlint:allow determinism order-independent min-scan: (access, path) is a total order
+		for _, ent := range s.entries {
+			if lru == nil || ent.access < lru.access ||
+				(ent.access == lru.access && ent.path < lru.path) {
+				lru = ent
+			}
+		}
+		//rarlint:allow errdiscipline best-effort eviction; a file that refuses to die is dropped from the index and retried on a later scan
+		os.Remove(lru.path)
+		delete(s.entries, lru.path)
+		s.totalBytes -= lru.size
+		s.evicted++
+	}
+}
+
+// gauges returns the store's current occupancy and eviction counters.
+func (s *diskStore) gauges() (entries int, bytes int64, evicted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries), s.totalBytes, s.evicted
+}
