@@ -5,17 +5,23 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench bench-smoke serve-smoke microbench clean
+.PHONY: ci vet lint sarif build test race bench bench-smoke serve-smoke microbench clean
 
 ci: vet lint build race
 
 vet:
 	$(GO) vet ./...
 
-# All seven checks, with the repo's own _test.go files loaded too;
+# All nine checks, with the repo's own _test.go files loaded too;
 # exits 1 on any finding, including malformed or stale directives.
-lint:
+# vet rides along so `make lint` alone is the full static gate.
+lint: vet
 	$(GO) run ./cmd/rarlint -tests ./...
+
+# SARIF log for GitHub code scanning; exit code deliberately ignored
+# (the lint target is the gate, this is the upload artifact).
+sarif:
+	$(GO) run ./cmd/rarlint -sarif -tests ./... > rarlint.sarif || true
 
 build:
 	$(GO) build ./...

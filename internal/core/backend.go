@@ -12,8 +12,9 @@ import (
 // back-end. In normal mode this allocates ROB/IQ/LQ/SQ entries and renames;
 // in runahead mode dispatch is handled by dispatchRunahead (no ROB).
 func (c *Core) dispatchStage() {
-	for n := 0; n < c.cfg.Width && len(c.frontQ) > 0; n++ {
-		u := c.frontQ[0]
+	popped := 0
+	for n := 0; n < c.cfg.Width && popped < len(c.frontQ); n++ {
+		u := c.frontQ[popped]
 		if u.frontReadyAt > c.cycle {
 			break
 		}
@@ -26,10 +27,17 @@ func (c *Core) dispatchStage() {
 		if !ok {
 			break // structural stall: retry next cycle, in order
 		}
-		c.frontQ = c.frontQ[1:]
+		popped++
 	}
-	if len(c.frontQ) == 0 && cap(c.frontQ) > 256 {
-		c.frontQ = nil
+	if popped > 0 {
+		// Compact instead of re-slicing: a [1:] pop strands the front of
+		// the backing array, so the paired fetch append re-allocates the
+		// queue every few thousand cycles.
+		rest := copy(c.frontQ, c.frontQ[popped:])
+		for i := rest; i < rest+popped; i++ {
+			c.frontQ[i] = nil
+		}
+		c.frontQ = c.frontQ[:rest]
 	}
 }
 
@@ -164,6 +172,8 @@ type waiter struct {
 // without touching registrations already woken), so issueStage confirms
 // with srcsReady before issuing. The filter takes the srcsReady poll off
 // the queue's blocked majority; the confirm only runs for issue candidates.
+//
+//rarlint:hot
 func (c *Core) enqueueIQ(u *uop) {
 	u.state = uopDispatched
 	u.notReady = 0
@@ -180,6 +190,8 @@ func (c *Core) enqueueIQ(u *uop) {
 // registered as waiting on it. Registrations from squashed consumers are
 // inert (the pooled uop record carries a newer seq); registrations from
 // before a recycling of p are live and correct to wake (see enqueueIQ).
+//
+//rarlint:hot
 func (c *Core) markReady(p int16) {
 	c.regs.ready[p] = true
 	ws := c.waiters[p]
@@ -312,6 +324,8 @@ func (c *Core) forwardFromStore(u *uop) (doneAt uint64, ok bool) {
 
 // completeStage retires finished executions: wakes dependents, resolves
 // branches (including misprediction recovery), and marks uops completed.
+//
+//rarlint:hot
 func (c *Core) completeStage() {
 	done := c.doneScratch[:0]
 	kept := c.execList[:0]
@@ -373,7 +387,7 @@ func (c *Core) recoverMispredict(u *uop) {
 	c.squashYounger(u.seq)
 	c.clearWrongPath()
 	c.stream.rewind(u.streamIdx + 1)
-	c.bp.Restore(*u.bpSnap, true, u.inst.PC, u.inst.Taken)
+	c.bp.Restore(u.bpSnap, true, u.inst.PC, u.inst.Taken)
 	if u.inst.Taken {
 		c.btb.Insert(u.inst.PC, u.inst.Target)
 	}
@@ -385,7 +399,7 @@ func (c *Core) recoverMispredict(u *uop) {
 // squashYounger removes every uop younger than seqB from the ROB and the
 // front-end, rolling back rename state.
 func (c *Core) squashYounger(seqB uint64) {
-	var squashed []*uop
+	squashed := c.squashScratch[:0]
 	for c.robCount > 0 {
 		tail := (c.robHead + c.robCount - 1) % c.cfg.ROB
 		u := c.rob[tail]
@@ -409,6 +423,7 @@ func (c *Core) squashYounger(seqB uint64) {
 	for _, u := range squashed {
 		c.release(u)
 	}
+	c.squashScratch = squashed[:0]
 }
 
 // filterSecondary drops dead uops from the issue queue, execution list and
@@ -469,6 +484,7 @@ func (c *Core) commitStage() {
 func (c *Core) commitUop(u *uop) {
 	in := &u.inst
 	if in.WrongPath {
+		//rarlint:allow hotalloc fatal model-bug exit, never taken on a healthy run
 		panic(fmt.Sprintf("core: committing wrong-path uop seq=%d pc=%#x cycle=%d mode=%d wrongPath=%v",
 			u.seq, in.PC, c.cycle, c.mode, c.wrongPath))
 	}
@@ -573,10 +589,11 @@ func (c *Core) drainStores() {
 	if res.MSHRStall {
 		return
 	}
-	c.storeBuf = c.storeBuf[1:]
-	if len(c.storeBuf) == 0 && cap(c.storeBuf) > 64 {
-		c.storeBuf = nil
-	}
+	// Compact instead of re-slicing so the buffer's capacity is reused
+	// forever (see dispatchStage); the buffer is bounded by
+	// PostCommitStoreBuffer entries, so the copy is cheap.
+	n := copy(c.storeBuf, c.storeBuf[1:])
+	c.storeBuf = c.storeBuf[:n]
 }
 
 func minU64(a, b uint64) uint64 {

@@ -77,6 +77,9 @@ type Core struct {
 
 	// doneScratch is completeStage's reusable completion buffer.
 	doneScratch []*uop
+	// squashScratch is the squash paths' reusable victim buffer: squashes
+	// happen on every mispredict, far too often to allocate a fresh slice.
+	squashScratch []*uop
 
 	fuPools    [numFuPools]config.FUPool
 	fuIssued   [numFuPools]int    // pipelined pools: ops issued this cycle
@@ -271,6 +274,17 @@ func NewWithHierarchy(cfg config.Core, scheme config.Scheme, name string, gen tr
 		sstT:    newSST(cfg.SST),
 		prod:    newProducers(12),
 	}
+	// Pre-size every per-register waiter list out of one contiguous
+	// backing array: a register can have at most 2*IQ simultaneous
+	// registrations (each queue entry registers once per source), and
+	// growing the lists on demand keeps allocating on the hot path for
+	// hundreds of thousands of cycles as rare combinations set new
+	// high-water marks.
+	nRegs := cfg.IntRegs + cfg.FpRegs
+	backing := make([]waiter, nRegs*2*cfg.IQ)
+	for i := range c.waiters {
+		c.waiters[i] = backing[i*2*cfg.IQ : i*2*cfg.IQ : (i+1)*2*cfg.IQ]
+	}
 	c.fuPools[fuIntAdd] = cfg.IntAdd
 	c.fuPools[fuIntMult] = cfg.IntMult
 	c.fuPools[fuIntDiv] = cfg.IntDiv
@@ -302,6 +316,8 @@ const watchdogWindow = 500_000
 // Run simulates until instructions have committed and returns the run's
 // statistics. It returns an error if the pipeline deadlocks (a model bug,
 // not an expected outcome).
+//
+//rarlint:hot
 func (c *Core) Run(instructions uint64) (Stats, error) {
 	return c.RunWarm(0, instructions)
 }
@@ -312,6 +328,8 @@ func (c *Core) Run(instructions uint64) (Stats, error) {
 // the SST stay trained across the boundary; only the counters reset.
 // Targets are relative to instructions already committed, so RunWarm can
 // be called repeatedly (see RunSampled).
+//
+//rarlint:hot
 func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 	base := c.s.Committed
 	warmTarget := base + warmup
@@ -345,7 +363,7 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 		c.drainStores()
 
 		if c.auditEvery > 0 && c.cycle%c.auditEvery == 0 {
-			c.audit()
+			c.audit() //rarlint:allow hotalloc audits are opt-in debugging, off in production sweeps
 		}
 		if !warmTaken && c.s.Committed >= warmTarget {
 			c.finalizeStats()
@@ -358,6 +376,7 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 			lastCommit = c.s.Committed
 			lastCommitTick = ticked
 		} else if ticked-lastCommitTick > watchdogWindow {
+			//rarlint:allow hotalloc fatal deadlock exit, never taken on a healthy run
 			return c.s, fmt.Errorf(
 				"core: deadlock: no commit for %d ticked cycles at cycle %d (core=%s bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d ffSkipped=%d)",
 				watchdogWindow, c.cycle, c.s.CoreName, c.s.Benchmark, c.s.Scheme,

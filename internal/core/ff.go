@@ -70,6 +70,7 @@ func (c *Core) FFSkippedCycles() uint64 { return c.ffSkipped }
 // scans — whose cost is then amortised over the whole skipped window.
 //
 //rarlint:pure
+//rarlint:hot
 func (c *Core) nextEventCycle() uint64 {
 	busy := c.cycle + 1
 

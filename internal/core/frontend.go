@@ -58,9 +58,9 @@ func (c *Core) fetchStage() {
 
 		// Predict the branch; checkpoint history first so a squash can
 		// rewind to exactly this point.
-		snap := c.bp.Snapshot()
+		u.bpSnap = c.bp.Snapshot()
 		pred, info := c.bp.Predict(in.PC)
-		u.predTaken, u.bpInfo, u.bpSnap = pred, info, &snap
+		u.predTaken, u.bpInfo = pred, info
 		c.frontQ = append(c.frontQ, u)
 
 		if pred != in.Taken {
@@ -153,6 +153,7 @@ func (c *Core) fetchWrongPath() {
 	u := c.newUop()
 	u.frontReadyAt = c.cycle + uint64(c.cfg.FrontEndDepth)
 	if c.wpSynthetic != 0 {
+		//rarlint:allow hotalloc generator dispatch is an interface call; the generators are allocation-free
 		c.gen.WrongPath(&u.inst, c.wpPC)
 		c.wpPC += isa.InstBytes
 		if c.wpSynthetic > 0 {

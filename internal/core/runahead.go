@@ -299,7 +299,14 @@ func (c *Core) drainPRDQ() {
 		c.release(u)
 	}
 	if n > 0 {
-		c.prdq = c.prdq[n:]
+		// Compact instead of re-slicing so the queue's capacity is
+		// reused forever (see dispatchStage); the PRDQ is bounded by
+		// cfg.PRDQ entries.
+		rest := copy(c.prdq, c.prdq[n:])
+		for i := rest; i < rest+n; i++ {
+			c.prdq[i] = nil
+		}
+		c.prdq = c.prdq[:rest]
 	}
 }
 
@@ -310,7 +317,7 @@ func (c *Core) redirectRunahead(u *uop) {
 	c.squashRunaheadYounger(u.seq)
 	c.raDiverged = false
 	c.stream.rewind(u.streamIdx + 1)
-	c.bp.Restore(*u.bpSnap, true, u.inst.PC, u.inst.Taken)
+	c.bp.Restore(u.bpSnap, true, u.inst.PC, u.inst.Taken)
 	if u.inst.Taken {
 		c.btb.Insert(u.inst.PC, u.inst.Target)
 	}
@@ -321,7 +328,7 @@ func (c *Core) redirectRunahead(u *uop) {
 
 // squashRunaheadYounger rolls back runahead uops younger than seqB.
 func (c *Core) squashRunaheadYounger(seqB uint64) {
-	var squashed []*uop
+	squashed := c.squashScratch[:0]
 	for len(c.prdq) > 0 {
 		u := c.prdq[len(c.prdq)-1]
 		if u.seq <= seqB {
@@ -341,6 +348,7 @@ func (c *Core) squashRunaheadYounger(seqB uint64) {
 	for _, u := range squashed {
 		c.release(u)
 	}
+	c.squashScratch = squashed[:0]
 }
 
 // discardRunahead throws away all remaining runahead state: restores the

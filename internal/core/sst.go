@@ -82,19 +82,31 @@ func (p *producers) lookup(pc uint64) ([2]uint64, bool) {
 
 // trainSlice walks the backward slice of the load at loadPC through the
 // producer table, inserting up to maxSlice PCs into the SST, bounded by
-// maxDepth dependence levels.
+// maxDepth dependence levels. Traversal state lives in fixed stack
+// arrays: training fires on every LLC-missing load, far too often to
+// build a fresh queue and visited map per call. Every enqueue pairs
+// with an insert, so sliceScratch bounds both cursors; a maxSlice
+// beyond the scratch is clamped (the single caller passes 16).
 func trainSlice(s *sst, p *producers, loadPC uint64, maxDepth, maxSlice int) {
 	type item struct {
 		pc    uint64
 		depth int
 	}
+	const sliceScratch = 32
+	if maxSlice >= sliceScratch {
+		maxSlice = sliceScratch - 1
+	}
+	var work [sliceScratch]item
+	var seen [sliceScratch]uint64
 	s.insert(loadPC)
-	work := []item{{loadPC, 0}}
-	seen := map[uint64]bool{loadPC: true}
+	work[0] = item{loadPC, 0}
+	wHead, wLen := 0, 1
+	seen[0] = loadPC
+	nSeen := 1
 	inserted := 1
-	for len(work) > 0 && inserted < maxSlice {
-		it := work[0]
-		work = work[1:]
+	for wHead < wLen && inserted < maxSlice {
+		it := work[wHead]
+		wHead++
 		if it.depth >= maxDepth {
 			continue
 		}
@@ -102,14 +114,22 @@ func trainSlice(s *sst, p *producers, loadPC uint64, maxDepth, maxSlice int) {
 		if !ok {
 			continue
 		}
+	next:
 		for _, spc := range srcs {
-			if spc == 0 || seen[spc] {
+			if spc == 0 {
 				continue
 			}
-			seen[spc] = true
+			for i := 0; i < nSeen; i++ {
+				if seen[i] == spc {
+					continue next
+				}
+			}
+			seen[nSeen] = spc
+			nSeen++
 			s.insert(spc)
 			inserted++
-			work = append(work, item{spc, it.depth + 1})
+			work[wLen] = item{spc, it.depth + 1}
+			wLen++
 		}
 	}
 }

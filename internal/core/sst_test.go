@@ -106,7 +106,6 @@ func TestUopPoolReuse(t *testing.T) {
 	var p uopPool
 	u := p.get()
 	u.seq = 42
-	u.bpSnap = nil
 	p.put(u)
 	v := p.get()
 	if v != u {

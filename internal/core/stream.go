@@ -18,6 +18,10 @@ type streamBuf struct {
 	buf  []isa.Inst
 	base uint64 // global index of buf[0]
 	cur  uint64 // global index of the next instruction to fetch
+	// scratch receives each generated instruction: passing a local's
+	// address through the trace.Source interface would force that local
+	// to the heap on every generated instruction.
+	scratch isa.Inst
 }
 
 func newStreamBuf(gen trace.Source) *streamBuf {
@@ -43,9 +47,9 @@ func (s *streamBuf) at(idx uint64) *isa.Inst {
 		panic("core: stream rewind past released instructions")
 	}
 	for idx >= s.base+uint64(len(s.buf)) {
-		var in isa.Inst
-		s.gen.Next(&in)
-		s.buf = append(s.buf, in)
+		//rarlint:allow hotalloc generator dispatch is an interface call; the generators are allocation-free
+		s.gen.Next(&s.scratch)
+		s.buf = append(s.buf, s.scratch)
 	}
 	return &s.buf[idx-s.base]
 }

@@ -67,10 +67,11 @@ type uop struct {
 	longLat   bool // LLC miss or a long wait on an in-flight fill
 	memIssued bool
 
-	// Branch prediction state.
+	// Branch prediction state. bpSnap is stored by value: a pointer to a
+	// stack snapshot would force a heap allocation per fetched branch.
 	predTaken bool
 	bpInfo    branch.Info
-	bpSnap    *branch.Snapshot // history snapshot taken before prediction
+	bpSnap    branch.Snapshot // history snapshot taken before prediction
 
 	// ACE attribution snapshots (cumulative blocked-cycle counters at
 	// window-start events; see ace.Ledger).
@@ -100,12 +101,12 @@ func (p *uopPool) get() *uop {
 		*u = uop{}
 		return u
 	}
+	//rarlint:allow hotalloc pool warm-up only; steady state recycles from free
 	return &uop{}
 }
 
 func (p *uopPool) put(u *uop) {
 	if len(p.free) < 4096 {
-		u.bpSnap = nil
 		p.free = append(p.free, u)
 	}
 }

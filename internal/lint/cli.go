@@ -28,9 +28,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout (GitHub code scanning)")
 	withTests := fs.Bool("tests", false, "include _test.go files (determinism and errdiscipline cover them)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rarlint [-checks list] [-json] [-tests] [module-dir | ./...]\n\n"+
+		fmt.Fprintf(stderr, "usage: rarlint [-checks list] [-json | -sarif] [-tests] [module-dir | ./...]\n\n"+
 			"Static analysis of a Go module's simulator contracts. Checks:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
@@ -39,6 +40,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			"`//rarlint:allow <check> <reason>`\non the flagged line or the line above it.\n")
 	}
 	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "rarlint: -json and -sarif are mutually exclusive")
 		return ExitError
 	}
 
@@ -91,12 +96,18 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if err := writeJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "rarlint:", err)
 			return ExitError
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "rarlint:", err)
+			return ExitError
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

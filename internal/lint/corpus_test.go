@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -100,18 +101,34 @@ func collectWants(root string) (map[string]bool, error) {
 		if err != nil {
 			return err
 		}
-		for i, line := range strings.Split(string(data), "\n") {
-			idx := strings.Index(line, "//lintwant")
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			// gofmt's doc-comment formatter rewrites a standalone
+			// //lintwant in doc position to "// lintwant", so both
+			// spellings are accepted.
+			idx, tag := -1, ""
+			for _, t := range []string{"//lintwant", "// lintwant"} {
+				if j := strings.Index(line, t); j >= 0 {
+					idx, tag = j, t
+					break
+				}
+			}
 			if idx < 0 {
 				continue
 			}
-			fields := strings.Fields(strings.TrimPrefix(line[idx:], "//lintwant"))
+			fields := strings.Fields(strings.TrimPrefix(line[idx:], tag))
 			if len(fields) == 0 {
 				return fmt.Errorf("%s:%d: //lintwant without a check name", rel, i+1)
 			}
 			target := i + 1 // a trailing comment expects its own line
 			if strings.TrimSpace(line[:idx]) == "" {
-				target = i + 2 // a standalone comment expects the next line
+				// A standalone comment expects the next line, skipping
+				// the bare "//" separators gofmt inserts between doc
+				// text and //rarlint: directives.
+				target = i + 2
+				for target-1 < len(lines) && strings.TrimSpace(lines[target-1]) == "//" {
+					target++
+				}
 			}
 			for _, c := range strings.Split(fields[0], ",") {
 				want[wantKey(rel, target, c)] = true
@@ -148,5 +165,44 @@ func TestCorpusCoverage(t *testing.T) {
 		if n == 0 {
 			t.Errorf("corpus %s expects no %s findings", a.Name, a.Name)
 		}
+	}
+}
+
+// TestConcurrencyChecksSkipTestFiles pins the -tests contract of
+// lockcheck and hotalloc: test files join the type-checked module but
+// contribute no findings, no annotations and no hot roots — the corpus
+// test files hold lock-free accesses and allocations on purpose, and
+// the finding set must be identical with and without them loaded.
+func TestConcurrencyChecksSkipTestFiles(t *testing.T) {
+	for _, name := range []string{"lockcheck", "hotalloc"} {
+		t.Run(name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(mod *Module) []string {
+				diags, err := Run(mod, []string{name})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out []string
+				for _, d := range diags {
+					out = append(out, d.String())
+				}
+				return out
+			}
+			plain, err := LoadModule(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withTests, err := LoadModuleWithTests(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := render(withTests), render(plain)
+			if !slices.Equal(got, want) {
+				t.Errorf("-tests changed the %s finding set:\nwith tests: %v\nwithout:    %v", name, got, want)
+			}
+		})
 	}
 }

@@ -6,7 +6,9 @@
 // discipline in the simulator packages, purity of the stall
 // fast-forward's event computation and the report read paths,
 // completeness of the runahead exit/flush restore set (the paper's
-// un-ACE argument), and dimensional consistency of the metric pipeline.
+// un-ACE argument), dimensional consistency of the metric pipeline,
+// guarded-by lock discipline of the concurrent engine front-end, and
+// allocation-freedom of the per-cycle hot loop.
 //
 // The analyses are whole-module: rarlint loads and type-checks every
 // package of the module with go/parser and go/types (standard library
@@ -15,10 +17,13 @@
 // file:line:column positions; the source tree talks back through
 // //rarlint: directives —
 //
-//	//rarlint:allow <check> <reason>    suppress one audited finding
-//	//rarlint:pure                      declare a function side-effect-free
-//	//rarlint:survives <reason>         waive one runahead-residue field
-//	//rarlint:unit <unit-expr>          declare a field's or result's dimension
+//	//rarlint:allow <check> <reason>     suppress one audited finding
+//	//rarlint:pure                       declare a function side-effect-free
+//	//rarlint:survives <reason>          waive one runahead-residue field
+//	//rarlint:unit <unit-expr>           declare a field's or result's dimension
+//	//rarlint:guardedby <mu|atomic|init> declare a field's synchronization story
+//	//rarlint:locked <mu>                a method called only with mu held
+//	//rarlint:hot                        root the zero-alloc hot-loop closure
 //
 // each attached to the governed line or the line directly above it.
 // Malformed and stale directives are themselves findings. rarlint
@@ -96,6 +101,16 @@ func Analyzers() []*Analyzer {
 			Name: "units",
 			Doc:  "dimensional analysis over //rarlint:unit-annotated stats, energy and metrics expressions",
 			Run:  unitsCheck,
+		},
+		{
+			Name: "lockcheck",
+			Doc:  "guarded-by discipline of //rarlint:guardedby fields: mutex held at every access, no double lock, no return-while-held",
+			Run:  lockcheck,
+		},
+		{
+			Name: "hotalloc",
+			Doc:  "allocation-freedom of every function reachable from //rarlint:hot roots (the zero-alloc per-cycle loop contract)",
+			Run:  hotalloc,
 		},
 	}
 }

@@ -55,6 +55,9 @@ type Module struct {
 	pures    map[string]map[int][]*pureDecl
 	survives map[string]map[int][]*survives
 	units    map[string]map[int][]*unitDecl
+	guardeds map[string]map[int][]*guardedDecl
+	lockeds  map[string]map[int][]*lockedDecl
+	hots     map[string]map[int][]*hotDecl
 	// badVerbs records comments with an unknown //rarlint: verb.
 	badVerbs []Diagnostic
 

@@ -1,0 +1,124 @@
+package lint
+
+// SARIF 2.1.0 output for GitHub code scanning. Like -json, the schema
+// is a compatibility contract with CI: the uploaded log drives the
+// repository's code-scanning alerts, so field shapes may be extended
+// but never renamed. Only the subset code scanning actually consumes is
+// emitted — tool.driver with one rule per check, and one result per
+// finding with a physical location.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders diagnostics as a single-run SARIF 2.1.0 log. A
+// clean run still emits the full tool/rules skeleton with an empty
+// results array, so the CI upload step never special-cases success.
+func writeSARIF(w io.Writer, diags []Diagnostic) error {
+	rules := []sarifRule{{
+		ID:               "lint",
+		ShortDescription: sarifMessage{Text: "malformed, unknown or stale rarlint directives"},
+	}}
+	index := map[string]int{"lint": 0}
+	for _, a := range Analyzers() {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:    d.Check,
+			RuleIndex: index[d.Check],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI: filepath.ToSlash(d.Pos.Filename),
+					},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rarlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
+}

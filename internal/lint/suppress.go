@@ -10,10 +10,17 @@ package lint
 //	                                    legitimately outlives runahead exit
 //	//rarlint:unit <unit-expr>          dimension of a field or of a
 //	                                    function's result
+//	//rarlint:guardedby <mu|atomic|init> a struct field readable only under
+//	                                    the named sibling mutex (or via
+//	                                    sync/atomic, or set before sharing)
+//	//rarlint:locked <mu>               a method whose contract is "called
+//	                                    with the receiver's mu held"
+//	//rarlint:hot                       an allocation-free hot-loop root
 //
 // A directive must be well-formed — allow names exactly one existing
 // check and carries a reason, survives carries a reason, unit's
-// expression must parse — and must stay *live*: an allow that no longer
+// expression must parse, guardedby and locked carry a lock argument —
+// and must stay *live*: an allow that no longer
 // suppresses anything and a survives that no longer matches a finding
 // are themselves reported, so a waiver can never silently rot into a
 // blanket exemption. Malformed and stale directives surface as findings
@@ -28,10 +35,13 @@ import (
 
 // Directive verbs.
 const (
-	verbAllow    = "allow"
-	verbPure     = "pure"
-	verbSurvives = "survives"
-	verbUnit     = "unit"
+	verbAllow     = "allow"
+	verbGuardedBy = "guardedby"
+	verbHot       = "hot"
+	verbLocked    = "locked"
+	verbPure      = "pure"
+	verbSurvives  = "survives"
+	verbUnit      = "unit"
 )
 
 // allow is one parsed //rarlint:allow directive.
@@ -55,6 +65,27 @@ type survives struct {
 // unitDecl is one parsed //rarlint:unit directive.
 type unitDecl struct {
 	expr string
+	used bool
+}
+
+// guardedDecl is one parsed //rarlint:guardedby directive. arg names the
+// sibling mutex field, or is "atomic" (the field is a sync/atomic value)
+// or "init" (set before the struct is shared; never checked).
+type guardedDecl struct {
+	arg  string
+	used bool
+}
+
+// lockedDecl is one parsed //rarlint:locked directive: the annotated
+// method is only ever called with the receiver's named mutex held.
+type lockedDecl struct {
+	mu   string
+	used bool
+}
+
+// hotDecl is one parsed //rarlint:hot directive: the annotated function
+// roots the hotalloc allocation-freedom closure.
+type hotDecl struct {
 	used bool
 }
 
@@ -99,11 +130,26 @@ func (m *Module) collectDirectives(filename string, f *ast.File) {
 					u.expr = fields[0]
 				}
 				addLine(&m.units, filename, line, u)
+			case verbGuardedBy:
+				g := &guardedDecl{}
+				if len(fields) > 0 {
+					g.arg = fields[0]
+				}
+				addLine(&m.guardeds, filename, line, g)
+			case verbLocked:
+				l := &lockedDecl{}
+				if len(fields) > 0 {
+					l.mu = fields[0]
+				}
+				addLine(&m.lockeds, filename, line, l)
+			case verbHot:
+				// Trailing words are commentary.
+				addLine(&m.hots, filename, line, &hotDecl{})
 			default:
 				m.badVerbs = append(m.badVerbs, Diagnostic{
 					Pos: positionAt(filename, line), Check: "lint",
 					Message: "unknown rarlint directive //rarlint:" + verb +
-						" (have allow, pure, survives, unit)"})
+						" (have allow, guardedby, hot, locked, pure, survives, unit)"})
 			}
 		}
 	}
@@ -165,6 +211,26 @@ func (m *Module) checkDirectives() []Diagnostic {
 				if _, err := parseUnit(u.expr); err != nil {
 					diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "lint",
 						Message: "malformed rarlint:unit: " + err.Error()})
+				}
+			}
+		}
+	}
+	for filename, byLine := range m.guardeds {
+		for line, gs := range byLine {
+			for _, g := range gs {
+				if g.arg == "" {
+					diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "lint",
+						Message: "malformed rarlint:guardedby: missing lock argument (a sibling mutex field, atomic, or init)"})
+				}
+			}
+		}
+	}
+	for filename, byLine := range m.lockeds {
+		for line, ls := range byLine {
+			for _, l := range ls {
+				if l.mu == "" {
+					diags = append(diags, Diagnostic{Pos: positionAt(filename, line), Check: "lint",
+						Message: "malformed rarlint:locked: missing mutex field name"})
 				}
 			}
 		}
@@ -231,6 +297,62 @@ func (m *Module) pureAt(filename string, firstLine, lastLine int) bool {
 	return hit
 }
 
+// hotAt reports whether a hot directive is attached to the given line
+// range, marking matched directives used.
+func (m *Module) hotAt(filename string, firstLine, lastLine int) bool {
+	hit := false
+	byLine := m.hots[filename]
+	for line := firstLine; line <= lastLine; line++ {
+		for _, d := range byLine[line] {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// lockedAt returns the mutex name of a locked directive attached to the
+// given line range (""), marking matched directives used. Malformed
+// (argument-less) directives are consumed too — they are already lint
+// findings — but yield no contract.
+func (m *Module) lockedAt(filename string, firstLine, lastLine int) (string, bool) {
+	byLine := m.lockeds[filename]
+	for line := firstLine; line <= lastLine; line++ {
+		for _, d := range byLine[line] {
+			if d.used {
+				continue
+			}
+			d.used = true
+			if d.mu == "" {
+				return "", false
+			}
+			return d.mu, true
+		}
+	}
+	return "", false
+}
+
+// takeGuarded consumes the first unused guardedby directive in the line
+// range, mirroring units' field attachment (same line, else the caller
+// retries the line above). Argument-less directives are consumed but
+// yield no guard.
+func (m *Module) takeGuarded(filename string, firstLine, lastLine int) (*guardedDecl, bool) {
+	byLine := m.guardeds[filename]
+	for line := firstLine; line <= lastLine; line++ {
+		for _, g := range byLine[line] {
+			if g.used {
+				continue
+			}
+			g.used = true
+			if g.arg == "" {
+				return nil, false
+			}
+			return g, true
+		}
+	}
+	return nil, false
+}
+
 // unattachedDirectives reports directives of the given kind that no
 // analyzer claimed: a pure directive floating in the middle of a
 // function, or a unit annotation on a line holding neither a struct
@@ -259,8 +381,11 @@ func unattachedDirectives[V any](m *Module, kind string, check string,
 
 // attachTargets documents what each positional directive must annotate.
 var attachTargets = map[string]string{
-	verbPure: "a function declaration",
-	verbUnit: "a struct field or function declaration",
+	verbPure:      "a function declaration",
+	verbUnit:      "a struct field or function declaration",
+	verbGuardedBy: "a struct field",
+	verbLocked:    "a method declaration",
+	verbHot:       "a function declaration",
 }
 
 // positionAt fabricates a position for directive-level diagnostics.

@@ -1,0 +1,3 @@
+module hotalloccorpus
+
+go 1.24

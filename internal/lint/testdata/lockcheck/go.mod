@@ -1,0 +1,3 @@
+module lockcheckcorpus
+
+go 1.24

@@ -34,6 +34,10 @@ func (m PrefetchMode) String() string {
 type StridePrefetcher struct {
 	streams [16]pfStream
 	degree  int
+	// buf is Train's reusable output buffer. Train fires on every demand
+	// access when prefetching is on; its result is consumed synchronously
+	// by the hierarchy before the next access, so one buffer suffices.
+	buf []uint64
 
 	issued uint64
 	trains uint64
@@ -53,7 +57,7 @@ func NewStridePrefetcher(degree int) *StridePrefetcher {
 	if degree <= 0 {
 		degree = 4
 	}
-	return &StridePrefetcher{degree: degree}
+	return &StridePrefetcher{degree: degree, buf: make([]uint64, 0, degree)}
 }
 
 // Train observes a demand access and returns the line addresses to
@@ -113,7 +117,7 @@ func (p *StridePrefetcher) Train(addr, now uint64) []uint64 {
 		return nil
 	}
 
-	out := make([]uint64, 0, p.degree)
+	out := p.buf[:0]
 	next := int64(line)
 	for i := 0; i < p.degree; i++ {
 		next += s.stride
@@ -122,6 +126,7 @@ func (p *StridePrefetcher) Train(addr, now uint64) []uint64 {
 		}
 		out = append(out, uint64(next)<<lineShift)
 	}
+	p.buf = out
 	p.issued += uint64(len(out))
 	return out
 }

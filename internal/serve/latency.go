@@ -17,8 +17,8 @@ const latencyWindow = 1024
 
 type latencyRing struct {
 	mu  sync.Mutex
-	buf [latencyWindow]time.Duration
-	n   uint64 // total recorded; buf[i] valid for i < min(n, latencyWindow)
+	buf [latencyWindow]time.Duration //rarlint:guardedby mu
+	n   uint64                       //rarlint:guardedby mu  total recorded; buf[i] valid for i < min(n, latencyWindow)
 }
 
 func (r *latencyRing) record(d time.Duration) {

@@ -50,20 +50,20 @@ type Server struct {
 	// DrainTimeout bounds graceful shutdown: how long Serve waits for
 	// in-flight requests (and the simulation cells they hold) after its
 	// context is cancelled. Zero means 30s. Set before Serve.
-	DrainTimeout time.Duration
+	DrainTimeout time.Duration //rarlint:guardedby init
 
-	engine Runner
-	pool   *sim.Pool
-	mux    *http.ServeMux
-	lat    latencyRing
+	engine Runner         //rarlint:guardedby init
+	pool   *sim.Pool      //rarlint:guardedby init
+	mux    *http.ServeMux //rarlint:guardedby init
+	lat    latencyRing    //rarlint:guardedby init  internally locked
 
-	requests    atomic.Uint64 // POST /matrix requests accepted for processing
-	okResponses atomic.Uint64 // 200s
-	notModified atomic.Uint64 // 304s
-	clientErrs  atomic.Uint64 // 4xx
-	unavailable atomic.Uint64 // 503s (negative-cached cell failures)
-	serverErrs  atomic.Uint64 // other 5xx
-	cellsServed atomic.Uint64 // cells across all 200s
+	requests    atomic.Uint64 //rarlint:guardedby atomic  POST /matrix requests accepted for processing
+	okResponses atomic.Uint64 //rarlint:guardedby atomic  200s
+	notModified atomic.Uint64 //rarlint:guardedby atomic  304s
+	clientErrs  atomic.Uint64 //rarlint:guardedby atomic  4xx
+	unavailable atomic.Uint64 //rarlint:guardedby atomic  503s (negative-cached cell failures)
+	serverErrs  atomic.Uint64 //rarlint:guardedby atomic  other 5xx
+	cellsServed atomic.Uint64 //rarlint:guardedby atomic  cells across all 200s
 }
 
 // New returns a server over engine, bounding all simulation work by

@@ -225,25 +225,25 @@ type Engine struct {
 	// OnCell, when non-nil, is invoked (unlocked, from the requesting
 	// goroutine) after every completed cell lookup. Set it before the
 	// engine is first used.
-	OnCell func(CellProgress)
+	OnCell func(CellProgress) //rarlint:guardedby init
 
 	mu    sync.Mutex
-	cells map[CellKey]*cellEntry
-	m     Metrics
-	dir   string     // versioned persistence directory; "" = memory only
-	store *diskStore // LRU index over dir; nil = memory only
+	cells map[CellKey]*cellEntry //rarlint:guardedby mu
+	m     Metrics                //rarlint:guardedby mu
+	dir   string                 //rarlint:guardedby init  versioned persistence directory; "" = memory only
+	store *diskStore             //rarlint:guardedby init  LRU index over dir; nil = memory only (internally locked)
 
 	// failTTL > 0 keeps failed cells in a negative cache for that long
 	// (see SetFailureTTL); 0 restores the historical delete-and-retry.
-	failTTL time.Duration
+	failTTL time.Duration //rarlint:guardedby init
 
 	// now is the wall clock used for negative-cache expiry; replaced in
 	// tests. It is host-side timing only: expiry never enters simulated
 	// state or the cache key.
-	now func() time.Time
+	now func() time.Time //rarlint:guardedby init
 
 	// runCell performs one simulation; replaced in tests.
-	runCell func(config.Core, config.Scheme, trace.Benchmark, Options) (core.Stats, error)
+	runCell func(config.Core, config.Scheme, trace.Benchmark, Options) (core.Stats, error) //rarlint:guardedby init
 }
 
 // NewEngine returns a memory-only memoizing engine.

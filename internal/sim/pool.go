@@ -25,9 +25,9 @@ import (
 // construct with NewPool. A nil *Pool is accepted by the methods below
 // and means "no shared bound" (each matrix bounds only itself).
 type Pool struct {
-	sem    chan struct{}
-	queued atomic.Int64
-	active atomic.Int64
+	sem    chan struct{} //rarlint:guardedby init
+	queued atomic.Int64  //rarlint:guardedby atomic
+	active atomic.Int64  //rarlint:guardedby atomic
 }
 
 // NewPool returns a pool with the given number of worker slots; size <= 0

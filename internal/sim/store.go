@@ -31,12 +31,12 @@ import (
 // diskStore indexes the cell files under one versioned cache directory.
 type diskStore struct {
 	mu         sync.Mutex
-	maxBytes   int64 // 0 = unbounded
-	maxEntries int   // 0 = unbounded
-	clock      uint64
-	entries    map[string]*diskEnt // keyed by absolute path
-	totalBytes int64
-	evicted    uint64
+	maxBytes   int64               //rarlint:guardedby mu  0 = unbounded
+	maxEntries int                 //rarlint:guardedby mu  0 = unbounded
+	clock      uint64              //rarlint:guardedby mu
+	entries    map[string]*diskEnt //rarlint:guardedby mu  keyed by absolute path
+	totalBytes int64               //rarlint:guardedby mu
+	evicted    uint64              //rarlint:guardedby mu
 }
 
 type diskEnt struct {
@@ -128,18 +128,15 @@ func (s *diskStore) setBudget(maxBytes int64, maxEntries int) {
 	s.evictOverBudget()
 }
 
-// evictOverBudget removes LRU entries while over either budget. Called
-// with s.mu held. Linear minimum scans keep the index trivially correct;
-// cell files number in the thousands, and eviction runs only on writes.
+// evictOverBudget removes LRU entries while over either budget. Linear
+// minimum scans keep the index trivially correct; cell files number in
+// the thousands, and eviction runs only on writes.
+//
+//rarlint:locked mu
 func (s *diskStore) evictOverBudget() {
-	over := func() bool {
-		if len(s.entries) == 0 {
-			return false
-		}
-		return (s.maxEntries > 0 && len(s.entries) > s.maxEntries) ||
-			(s.maxBytes > 0 && s.totalBytes > s.maxBytes)
-	}
-	for over() {
+	for len(s.entries) > 0 &&
+		((s.maxEntries > 0 && len(s.entries) > s.maxEntries) ||
+			(s.maxBytes > 0 && s.totalBytes > s.maxBytes)) {
 		var lru *diskEnt
 		// The (access, path) comparison is a total order over entries, so
 		// this min-scan picks the same victim under every map iteration
