@@ -28,13 +28,15 @@ import (
 
 	"rarsim/internal/config"
 	"rarsim/internal/core"
+	"rarsim/internal/multicore"
 	"rarsim/internal/sim"
 	"rarsim/internal/trace"
 )
 
 // schemaVersion identifies the BENCH_core.json layout; bump on any field
 // change so downstream tooling fails loudly instead of misreading.
-const schemaVersion = 1
+// v2: added the multicore chip cells.
+const schemaVersion = 2
 
 // Report is the persisted benchmark report. The harness re-parses its own
 // output with DisallowUnknownFields before writing, so the file always
@@ -47,9 +49,10 @@ type Report struct {
 	Seed          uint64 `json:"seed"`
 	Iterations    int    `json:"iterations"`
 
-	Cells      []Cell     `json:"cells"`
-	Aggregates Aggregates `json:"aggregates"`
-	Matrix     Matrix     `json:"matrix"`
+	Cells      []Cell          `json:"cells"`
+	Aggregates Aggregates      `json:"aggregates"`
+	Matrix     Matrix          `json:"matrix"`
+	Multicore  []MulticoreCell `json:"multicore"`
 }
 
 // Cell is one (scheme, benchmark) throughput measurement.
@@ -75,6 +78,24 @@ type Aggregates struct {
 	ComputeSimInstsPerSec     float64 `json:"computeSimInstsPerSec"`
 	ComputeSimInstsPerSecNoFF float64 `json:"computeSimInstsPerSecNoFF"`
 	ComputeFFSpeedup          float64 `json:"computeFFSpeedup"`
+}
+
+// MulticoreCell is one chip-level throughput measurement: a multicore
+// system running one benchmark and scheme per core, measured with the
+// chip-level stall fast-forward on and off. Throughput counts committed
+// instructions summed over all cores.
+type MulticoreCell struct {
+	Chip    string   `json:"chip"`
+	Cores   int      `json:"cores"`
+	Benches []string `json:"benches"`
+	Schemes []string `json:"schemes"`
+	// SimInstsPerSec is chip-wide simulated instructions per wall-clock
+	// second with the epoch fast-forward enabled (the default).
+	SimInstsPerSec float64 `json:"simInstsPerSec"`
+	// SimInstsPerSecNoFF is the same measurement with -no-ff.
+	SimInstsPerSecNoFF float64 `json:"simInstsPerSecNoFF"`
+	// FFSpeedup is SimInstsPerSec / SimInstsPerSecNoFF.
+	FFSpeedup float64 `json:"ffSpeedup"`
 }
 
 // Matrix is the end-to-end experiment-matrix throughput measurement.
@@ -121,8 +142,9 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (mem %.0f insts/s, %.1fx over -no-ff; matrix %.1f cells/s)\n",
-		*out, rep.Aggregates.MemSimInstsPerSec, rep.Aggregates.MemFFSpeedup, rep.Matrix.CellsPerSec)
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (mem %.0f insts/s, %.1fx over -no-ff; chip %s %.1fx; matrix %.1f cells/s)\n",
+		*out, rep.Aggregates.MemSimInstsPerSec, rep.Aggregates.MemFFSpeedup,
+		rep.Multicore[0].Chip, rep.Multicore[0].FFSpeedup, rep.Matrix.CellsPerSec)
 }
 
 // Validate parses a BENCH_core.json document strictly: unknown fields,
@@ -143,6 +165,9 @@ func Validate(data []byte) error {
 	}
 	if len(r.Cells) == 0 {
 		return fmt.Errorf("report has no cells")
+	}
+	if len(r.Multicore) == 0 {
+		return fmt.Errorf("report has no multicore cells")
 	}
 	return nil
 }
@@ -240,7 +265,102 @@ func measure(n, warmup uint64, iters int) (*Report, error) {
 		return nil, err
 	}
 	rep.Matrix = *m
+
+	for _, chip := range benchChips() {
+		cell, err := timeChip(chip, n, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Multicore = append(rep.Multicore, *cell)
+	}
 	return rep, nil
+}
+
+// chipSpec names a multicore configuration: benches[i] runs on core i
+// under schemes[i%len(schemes)].
+type chipSpec struct {
+	name    string
+	benches []string
+	schemes []config.Scheme
+}
+
+// benchChips is the measured chip list: the memory-bound mix (four
+// memory-intensive benchmarks on baseline OoO cores — the configuration
+// the chip-level fast-forward targets), the same mix on all-RAR cores
+// (runahead keeps cores busy through misses, so the skip finds little),
+// and a heterogeneous scheme×bench chip covering the mixed deployment.
+func benchChips() []chipSpec {
+	memMix := []string{"mcf", "libquantum", "soplex", "astar"}
+	return []chipSpec{
+		{"mem-ooo", memMix, []config.Scheme{config.OoO}},
+		{"mem-rar", memMix, []config.Scheme{config.RAR}},
+		{"mixed", []string{"libquantum", "exchange2", "mcf", "x264"},
+			[]config.Scheme{config.RAR, config.OoO}},
+	}
+}
+
+// timeChip measures one chip in both fast-forward modes (best of iters
+// each), cross-checking the per-core statistics between the two modes —
+// the chip-level face of the equivalence check every single-core cell
+// already gets.
+func timeChip(spec chipSpec, n uint64, iters int) (*MulticoreCell, error) {
+	cfg := config.Baseline()
+	var loads []multicore.Workload
+	var schemeNames []string
+	for i, name := range spec.benches {
+		b, err := trace.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		s := spec.schemes[i%len(spec.schemes)]
+		loads = append(loads, multicore.Workload{Bench: b, Scheme: s})
+		schemeNames = append(schemeNames, s.Name)
+	}
+	run := func(ff bool) (time.Duration, []core.Stats, error) {
+		var best time.Duration
+		var stats []core.Stats
+		for i := 0; i < iters; i++ {
+			sys, err := multicore.New(cfg, loads, 42)
+			if err != nil {
+				return 0, nil, err
+			}
+			sys.SetStallFastForward(ff)
+			start := time.Now() //rarlint:allow determinism wall-clock measurement is this harness's entire purpose; never enters simulated state
+			st, err := sys.Run(n)
+			dur := time.Since(start) //rarlint:allow determinism wall-clock measurement is this harness's entire purpose; never enters simulated state
+			if err != nil {
+				return 0, nil, fmt.Errorf("chip %s: %w", spec.name, err)
+			}
+			if i == 0 || dur < best {
+				best = dur
+			}
+			stats = st
+		}
+		return best, stats, nil
+	}
+	ffDur, ffStats, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	noFFDur, noFFStats, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	// The equivalence contract, per core, checked end to end.
+	if !reflect.DeepEqual(ffStats, noFFStats) {
+		return nil, fmt.Errorf("chip %s: fast-forward changed the results:\n on: %+v\noff: %+v",
+			spec.name, ffStats, noFFStats)
+	}
+	total := n * uint64(len(loads))
+	return &MulticoreCell{
+		Chip:               spec.name,
+		Cores:              len(loads),
+		Benches:            spec.benches,
+		Schemes:            schemeNames,
+		SimInstsPerSec:     rate(total, ffDur),
+		SimInstsPerSecNoFF: rate(total, noFFDur),
+		FFSpeedup:          noFFDur.Seconds() / ffDur.Seconds(),
+	}, nil
 }
 
 // timeCell runs one cell iters times in the given mode and returns the best

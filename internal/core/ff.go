@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // Stall fast-forward: when the core is quiescent — no stage can fetch,
 // dispatch, issue, complete, commit or drain a store, and every pending
 // event lies strictly in the future — the simulation clock may jump to the
@@ -39,12 +41,24 @@ package core
 //     cycle; the skip never jumps past either — it lands one cycle short
 //     so the normal loop executes them on their exact cycle.
 //
-// The skip only runs inside Run/RunWarm. Step is never fast-forwarded:
-// multicore systems interleave Step calls across cores sharing an LLC, and
-// quiescence of one core says nothing about its neighbours.
+// The skip runs inside Run/RunWarm; Step itself is never fast-forwarded: a
+// single Step call cannot know whether skipping is safe for its caller.
+// Instead the multicore driver lifts the same machinery to chip level
+// through the exported NextEventCycle/SkipTo pair: a core whose next event
+// lies in the future makes no shared-LLC/DRAM access until then, so the
+// chip loop defers it — not stepping it at all while quiescent and
+// integrating the deferred stretch in one SkipTo when its event comes due,
+// while busy co-runners keep stepping at real chip cycles (see
+// internal/multicore and DESIGN.md §7).
 
 // noEvent marks "no pending event" in next-event computations.
 const noEvent = ^uint64(0)
+
+// NoEventCycle is the exported sentinel NextEventCycle returns when the
+// core has no pending event at all — the machine can never make progress
+// again. Callers must not skip toward it: leaving the plain loop ticking
+// lets the deadlock watchdog report meaningful cycle numbers.
+const NoEventCycle = noEvent
 
 // SetStallFastForward enables or disables the stall fast-forward
 // (default: enabled). Disabling forces the classic cycle-by-cycle loop —
@@ -177,6 +191,74 @@ func (c *Core) nextEventCycle() uint64 {
 	return t
 }
 
+// clampObligations lowers a next-event target to the nearest exact-cycle
+// obligation: invariant audits fire every auditEvery cycles and
+// fault-injection samples strike at a precise cycle, so any skip must stop
+// short of the nearest one and let the normal loop land on it.
+//
+//rarlint:pure
+//rarlint:hot
+func (c *Core) clampObligations(target uint64) uint64 {
+	if c.auditEvery > 0 {
+		if next := (c.cycle/c.auditEvery + 1) * c.auditEvery; next < target {
+			target = next
+		}
+	}
+	if c.injNext < len(c.injSamples) {
+		if ic := c.injSamples[c.injNext].Cycle; ic < target {
+			target = ic
+		}
+	}
+	return target
+}
+
+// NextEventCycle returns the earliest future cycle at which this core must
+// execute a normal simulated cycle: the earliest cycle any pipeline stage
+// can change machine state (nextEventCycle), lowered to the core's
+// exact-cycle obligations (audit multiples, pending fault-injection
+// strikes). A return of CycleCount()+1 means the core is busy — something
+// acts on the very next cycle and nothing can be skipped; NoEventCycle
+// means no event is pending at all. Like nextEventCycle it is only
+// meaningful at the bottom of a simulated cycle, after every stage has
+// run — which is exactly when the multicore epoch driver calls it.
+//
+//rarlint:pure
+//rarlint:hot
+func (c *Core) NextEventCycle() uint64 {
+	target := c.nextEventCycle()
+	if target == noEvent {
+		return NoEventCycle
+	}
+	return c.clampObligations(target)
+}
+
+// SkipTo bulk-advances a quiescent core to cycle target without simulating
+// the intervening cycles, scaling the per-cycle accounting (the Figure 5
+// attribution counters, the RunaheadCycles meter and the ACE ledger's
+// blocked-cycle integrals) by the width of the window. The contract is the
+// fast-forward equivalence contract: target must lie strictly before the
+// core's next event — SkipTo re-derives NextEventCycle and panics on a
+// violation rather than silently corrupting the run, which is what makes
+// the exported surface safe for an external driver that computed its skip
+// window from many cores at once. Skipping to the current cycle is a no-op;
+// skipping backwards is always a bug.
+//
+//rarlint:hot
+func (c *Core) SkipTo(target uint64) {
+	if target <= c.cycle {
+		if target < c.cycle {
+			//rarlint:allow hotalloc contract-violation panic, never taken on a healthy run
+			panic(fmt.Sprintf("core: SkipTo(%d) would move cycle %d backwards", target, c.cycle))
+		}
+		return
+	}
+	if ev := c.NextEventCycle(); target >= ev {
+		//rarlint:allow hotalloc contract-violation panic, never taken on a healthy run
+		panic(fmt.Sprintf("core: SkipTo(%d) would jump past the next event at %d (cycle %d)", target, ev, c.cycle))
+	}
+	c.bulkAdvance(target - c.cycle)
+}
+
 // skipStall bulk-advances the clock to just before the next event when the
 // core is quiescent. It must run at the bottom of a Run/RunWarm iteration,
 // after every stage of the current cycle has executed.
@@ -191,29 +273,22 @@ func (c *Core) skipStall() {
 		// reports the deadlock with meaningful cycle numbers.
 		return
 	}
-
-	// Exact-cycle obligations: invariant audits and fault-injection
-	// strikes must execute on their precise cycles, so the skip stops
-	// short of the nearest one and lets the normal loop land on it.
-	if c.auditEvery > 0 {
-		if next := (c.cycle/c.auditEvery + 1) * c.auditEvery; next < target {
-			target = next
-		}
-	}
-	if c.injNext < len(c.injSamples) {
-		if ic := c.injSamples[c.injNext].Cycle; ic < target {
-			target = ic
-		}
-	}
+	target = c.clampObligations(target)
 	if target <= c.cycle+1 {
 		return
 	}
-
 	// Advance to target-1; the loop's c.cycle++ then executes the event
-	// cycle itself through the normal stages. The skipped cycles would
-	// each have run tickBlocked with exactly this (frozen) blocking state,
-	// so the attribution counters and the ACE ledger integrate in bulk.
-	n := target - 1 - c.cycle
+	// cycle itself through the normal stages.
+	c.bulkAdvance(target - 1 - c.cycle)
+}
+
+// bulkAdvance moves the clock n cycles forward in one step. The skipped
+// cycles would each have run tickBlocked with exactly the current (frozen)
+// blocking state, so the attribution counters and the ACE ledger integrate
+// in bulk. Callers guarantee quiescence over the whole window.
+//
+//rarlint:hot
+func (c *Core) bulkAdvance(n uint64) {
 	first := c.cycle + 1
 	head := c.robHeadUop()
 	headBlocked := head != nil && head.isLoad() && head.state == uopIssued && head.longLat
@@ -233,7 +308,7 @@ func (c *Core) skipStall() {
 	// have restarted the countdown timer (modeNextEvent already used that
 	// restarted base when it computed the skip target).
 	if head == nil {
-		c.headSeq, c.headSince = 0, target-1
+		c.headSeq, c.headSince = 0, c.cycle+n
 	} else if head.seq != c.headSeq {
 		c.headSeq, c.headSince = head.seq, first
 	}

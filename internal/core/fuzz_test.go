@@ -6,55 +6,8 @@ import (
 	"testing/quick"
 
 	"rarsim/internal/config"
-	"rarsim/internal/isa"
 	"rarsim/internal/trace"
 )
-
-// randomBenchmark builds a random but valid synthetic benchmark from fuzz
-// inputs: arbitrary instruction mixes, dependence distances, stream
-// patterns and branch placements within the spec's validation rules.
-func randomBenchmark(raw []byte) trace.Benchmark {
-	next := func(i int) int {
-		if len(raw) == 0 {
-			return 7
-		}
-		return int(raw[i%len(raw)])
-	}
-	bodyLen := 4 + next(0)%10
-	var body []trace.Op
-	for i := 0; i < bodyLen; i++ {
-		r := next(i+1) % 100
-		dep := next(i+2)%4 + 1
-		switch {
-		case r < 25:
-			body = append(body, trace.Op{Class: isa.Load, Stream: next(i+3) % 2})
-		case r < 35:
-			body = append(body, trace.Op{Class: isa.Store, Stream: next(i+3) % 2, Dep1: dep})
-		case r < 45 && i+2 < bodyLen:
-			body = append(body, trace.Op{Class: isa.Branch,
-				TakenProb: float64(next(i+4)%50) / 100, SkipLen: 1, DepLoad: r%2 == 0})
-		case r < 60:
-			body = append(body, trace.Op{Class: isa.FpAdd, Dep1: dep})
-		case r < 70:
-			body = append(body, trace.Op{Class: isa.IntDiv, Dep1: dep})
-		default:
-			body = append(body, trace.Op{Class: isa.IntAlu, Dep1: dep, Dep2: next(i+5) % 3})
-		}
-	}
-	patterns := []trace.Pattern{trace.Seq, trace.Strided, trace.Chase, trace.Rand}
-	return trace.Benchmark{
-		Name: "fuzz",
-		Kernels: []trace.Kernel{{
-			Name:       "k",
-			Iterations: 2 + next(6)%40,
-			Streams: []trace.StreamSpec{
-				{Pattern: patterns[next(7)%4], Region: 1 << (14 + next(8)%10), Stride: 8},
-				{Pattern: patterns[next(9)%4], Region: 1 << (14 + next(10)%8), Stride: 16},
-			},
-			Body: body,
-		}},
-	}
-}
 
 // TestRandomProgramsRun drives arbitrary valid programs through the two
 // extreme schemes with the invariant auditor armed: whatever the
@@ -65,7 +18,7 @@ func TestRandomProgramsRun(t *testing.T) {
 		t.Skip("fuzz sweep")
 	}
 	f := func(raw []byte, seed uint64) bool {
-		b := randomBenchmark(raw)
+		b := trace.RandomBenchmark(raw)
 		for _, s := range []config.Scheme{config.OoO, config.RAR} {
 			c := New(config.Baseline(), s, b, seed)
 			c.EnableAudit(256)
@@ -95,7 +48,7 @@ func TestRandomProgramsFFEquivalence(t *testing.T) {
 	}
 	schemes := []config.Scheme{config.OoO, config.FLUSH, config.TR, config.PREEarly, config.RAR}
 	f := func(raw []byte, seed uint64) bool {
-		b := randomBenchmark(raw)
+		b := trace.RandomBenchmark(raw)
 		s := schemes[int(seed%uint64(len(schemes)))]
 		run := func(ff bool) (Stats, uint64, error) {
 			c := New(config.Baseline(), s, b, seed)

@@ -137,6 +137,21 @@ func seed(c *core) {
 	c.out = len(c.buf) //rarlint:allow hotalloc out is written once per run and read cold
 }
 
+// The exported skip pattern (a contract-checked fast-forward wrapper): a
+// hot function whose contract-violation panic — message formatting and
+// all — is waived on the line above the panic. It can only fire on a run
+// that is already dead, so its allocations are not per-cycle garbage;
+// the healthy path must still be clean.
+//
+//rarlint:hot
+func skipTo(c *core, target int) {
+	if target < len(c.buf) {
+		//rarlint:allow hotalloc contract-violation panic, never taken on a healthy run
+		panic("skipTo: " + strconv.Itoa(target))
+	}
+	c.buf = append(c.buf, target)
+}
+
 // A hot directive must sit on a function declaration.
 // lintwant hotalloc
 //

@@ -110,6 +110,41 @@ func waived(c *counter) uint64 {
 	return c.n
 }
 
+// The exported next-event pattern (a pure scan behind a pure exported
+// wrapper): the closure follows the whole helper chain across the export
+// boundary and finds only reads, so the wrapper stays clean.
+//
+//rarlint:pure
+func NextEvent(c *counter) uint64 { return clampNext(c, scanNext(c)) }
+
+func scanNext(c *counter) uint64 {
+	t := c.n + 1
+	for _, v := range c.hist {
+		if v < t {
+			t = v
+		}
+	}
+	return t
+}
+
+func clampNext(c *counter, target uint64) uint64 {
+	if len(c.index) > 0 && target > c.n {
+		return c.n
+	}
+	return target
+}
+
+// The same wrapper shape is still closed over: a mutation hidden two
+// helpers below the exported annotation is caught.
+//
+//rarlint:pure
+func NextEventDirty(c *counter) uint64 { return scanAndBump(c) }
+
+func scanAndBump(c *counter) uint64 {
+	c.n++ //lintwant purity
+	return c.n
+}
+
 type grid struct{ cells [4]uint64 }
 
 // Clean: an array write through a value receiver stays in the copy.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rarsim/internal/isa"
@@ -87,32 +88,53 @@ func WriteTrace(w io.Writer, name string, src Source, n uint64) error {
 	return bw.Flush()
 }
 
-// WriteTraceFile records n instructions from src into path, gzipping when
-// the path ends in ".gz".
-func WriteTraceFile(path, name string, src Source, n uint64) error {
-	f, err := os.Create(path)
+// atomicWriteFile writes through write into a temp file in path's
+// directory and renames it into place only after the write, sync and
+// close have all succeeded, so a failure mid-write can never leave a
+// truncated file at path — the same discipline as the simulation cache's
+// diskStore. The temp file lives in the target directory so the final
+// rename stays on one filesystem (and therefore atomic).
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".trace-*")
 	if err != nil {
 		return err
 	}
-	var w io.Writer = f
-	var gz *gzip.Writer
-	if strings.HasSuffix(path, ".gz") {
-		gz = gzip.NewWriter(f)
-		w = gz
+	tmp := f.Name()
+	err = write(f)
+	// On a write path the sync/close errors are load-bearing: they are the
+	// last chance to learn the data never fully reached disk.
+	if serr := f.Sync(); err == nil {
+		err = serr
 	}
-	err = WriteTrace(w, name, src, n)
-	if err == nil && gz != nil {
-		err = gz.Close()
-	}
-	if err == nil {
-		err = f.Sync()
-	}
-	// On a write path the close error is load-bearing: it is the last
-	// chance to learn the trace never fully reached disk.
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return err
+	if err != nil {
+		//rarlint:allow errdiscipline best-effort cleanup of a temp file that never became the target
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteTraceFile records n instructions from src into path, gzipping when
+// the path ends in ".gz". The file is written atomically: on any error the
+// target path is left untouched (no partial trace ever appears there), and
+// the gzip footer is always completed before the file can be renamed into
+// place.
+func WriteTraceFile(path, name string, src Source, n uint64) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".gz") {
+			gz := gzip.NewWriter(w)
+			if err := WriteTrace(gz, name, src, n); err != nil {
+				//rarlint:allow errdiscipline the write error takes precedence and the temp file is discarded
+				gz.Close()
+				return err
+			}
+			return gz.Close()
+		}
+		return WriteTrace(w, name, src, n)
+	})
 }
 
 // FileSource replays a recorded trace. The recording is loaded into memory
@@ -153,16 +175,23 @@ func ReadTrace(r io.Reader) (*FileSource, error) {
 		return nil, fmt.Errorf("trace: short name: %w", err)
 	}
 
+	// The header's count field is attacker-controlled: a corrupt or hostile
+	// trace can claim 2^60 records backed by no data at all, and an
+	// up-front make([]isa.Inst, count) would try to commit the whole claim
+	// before a single record is verified. Cap the preallocation and grow
+	// only as records actually arrive — a truncated body then fails with a
+	// short-record error instead of an allocation panic.
+	const maxPrealloc = 1 << 16
 	fs := &FileSource{
 		name:  string(nameBuf),
-		insts: make([]isa.Inst, count),
+		insts: make([]isa.Inst, 0, min(count, maxPrealloc)),
 	}
 	var rec [recordBytes]byte
-	for i := range fs.insts {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: short record %d: %w", i, err)
 		}
-		in := &fs.insts[i]
+		var in isa.Inst
 		in.PC = binary.LittleEndian.Uint64(rec[0:8])
 		in.Addr = binary.LittleEndian.Uint64(rec[8:16])
 		in.Target = binary.LittleEndian.Uint64(rec[16:24])
@@ -175,6 +204,7 @@ func ReadTrace(r io.Reader) (*FileSource, error) {
 		in.Src2 = isa.Reg(rec[27])
 		in.Dest = isa.Reg(rec[28])
 		in.Size = rec[29]
+		fs.insts = append(fs.insts, in)
 	}
 	fs.wp = newWpSynth(wpSeed, wpBase)
 	return fs, nil

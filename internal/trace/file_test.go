@@ -2,7 +2,12 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"rarsim/internal/isa"
@@ -94,6 +99,101 @@ func TestTraceErrors(t *testing.T) {
 	}
 	if _, err := OpenTraceFile("/nonexistent/x.trace"); err == nil {
 		t.Error("missing file must error")
+	}
+}
+
+// hostileHeader builds a syntactically valid trace header claiming count
+// records and carrying no body at all.
+func hostileHeader(count uint64) []byte {
+	head := []byte(traceMagic)
+	var hdr [34]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[2:10], count)
+	binary.LittleEndian.PutUint64(hdr[26:34], 0) // empty name
+	return append(head, hdr[:]...)
+}
+
+// TestReadTraceHostileCount: the count field is attacker-controlled, so a
+// header claiming 2^60 records backed by nothing must fail with a parse
+// error — not commit petabytes of memory up front and die on an
+// allocation panic the caller cannot recover from.
+func TestReadTraceHostileCount(t *testing.T) {
+	for _, count := range []uint64{1 << 60, 1 << 40, ^uint64(0)} {
+		fs, err := ReadTrace(bytes.NewReader(hostileHeader(count)))
+		if err == nil {
+			t.Fatalf("count=%d: hostile header must error, got %d insts", count, fs.Len())
+		}
+		if !strings.Contains(err.Error(), "short record") {
+			t.Errorf("count=%d: want a short-record parse error, got: %v", count, err)
+		}
+	}
+}
+
+// TestReadTraceTruncated: a real trace chopped mid-body must surface a
+// short-record error naming how far the parse got, never a panic or a
+// silently shortened replay.
+func TestReadTraceTruncated(t *testing.T) {
+	b, err := ByName("gems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := mustTrace(t, b, 100).Bytes()
+	for _, cut := range []int{1, recordBytes / 2, 50 * recordBytes} {
+		_, err := ReadTrace(bytes.NewReader(whole[:len(whole)-cut]))
+		if err == nil {
+			t.Fatalf("cut=%d: truncated trace must error", cut)
+		}
+		if !strings.Contains(err.Error(), "short record") {
+			t.Errorf("cut=%d: want a short-record error, got: %v", cut, err)
+		}
+	}
+}
+
+// TestWriteTraceFileAtomic: a failed write must leave the target path
+// exactly as it was — no partial file, no leftover temp files — and a
+// successful write must replace an existing file in one step. This pins
+// the temp-file+rename discipline WriteTraceFile shares with the
+// simulation cache's diskStore.
+func TestWriteTraceFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "out.trace")
+	if err := os.WriteFile(target, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	if err := atomicWriteFile(target, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage")); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("injected write failure must surface, got: %v", err)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("failed write must leave the target untouched, got %q, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("failed write must clean up its temp file, dir has %d entries", len(ents))
+	}
+	// The success path replaces the old content wholesale.
+	b, err := ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceFile(target, b.Name, New(b, 3), 50); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenTraceFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 50 {
+		t.Fatalf("replaced trace has %d insts, want 50", fs.Len())
 	}
 }
 
