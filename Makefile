@@ -39,9 +39,12 @@ bench:
 	$(GO) run ./cmd/bench -o BENCH_core.json
 
 # bench-smoke is the CI variant: one quick iteration, schema validated,
-# output discarded — proves the harness runs, measures nothing.
+# output discarded — proves the harness runs, measures nothing. It runs
+# race-instrumented so the batched synthesis refill path (block buffer
+# shared between fetch and the generator) gets -race coverage on every
+# PR, not just when someone remembers `make race`.
 bench-smoke:
-	$(GO) run ./cmd/bench -quick -o -
+	$(GO) run -race ./cmd/bench -quick -o -
 
 # serve-smoke stands up rarserved (race-instrumented, ephemeral port),
 # drives it with rarload's hot/cold mix, and fails on any request error,
@@ -50,9 +53,11 @@ bench-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-# microbench keeps the old go-test microbenchmarks reachable.
+# microbench runs the tracked go-test microbenchmarks: the root engine
+# benchmarks, the block-vs-scalar uop synthesis pair in internal/trace,
+# and the warmed-window stage-loop benchmarks in internal/core.
 microbench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/trace ./internal/core
 
 clean:
 	rm -rf results/cache

@@ -48,6 +48,12 @@ type history struct {
 	bits [ghrBits / 64]uint64
 	pos  int // index of the next bit to write
 
+	// recent mirrors the newest 64 history bits (bit 0 = most recent
+	// outcome) so short-distance reads — the statistical corrector's
+	// folds, most tagged-table aging bits — are one shift-and-mask on a
+	// register instead of a ring lookup per bit.
+	recent uint64
+
 	// phist is a short path history mixed into the indices.
 	phist uint64
 
@@ -57,9 +63,14 @@ type history struct {
 }
 
 // bit returns history bit at distance d (d=1 is the most recent outcome).
+// ghrBits is a power of two, so the ring arithmetic is masks and shifts;
+// distances within the recent window never touch the ring at all.
 func (h *history) bit(d int) uint32 {
-	p := (h.pos - d + ghrBits) % ghrBits
-	return uint32(h.bits[p/64]>>(p%64)) & 1
+	if d <= 64 {
+		return uint32(h.recent>>(d-1)) & 1
+	}
+	p := (h.pos - d) & (ghrBits - 1)
+	return uint32(h.bits[p>>6]>>(p&63)) & 1
 }
 
 // shift pushes one branch outcome into the history and updates every
@@ -75,9 +86,10 @@ func (h *history) shift(taken bool, pc uint64, hists []int) {
 		h.tagFold1[i].update(nb, old)
 		h.tagFold2[i].update(nb, old)
 	}
-	w, b := h.pos/64, uint(h.pos%64)
+	w, b := h.pos>>6, uint(h.pos&63)
 	h.bits[w] = (h.bits[w] &^ (1 << b)) | (uint64(nb) << b)
-	h.pos = (h.pos + 1) % ghrBits
+	h.pos = (h.pos + 1) & (ghrBits - 1)
+	h.recent = (h.recent << 1) | uint64(nb)
 	h.phist = ((h.phist << 1) ^ (pc >> 2)) & 0xFFFF
 }
 
@@ -88,6 +100,7 @@ func (h *history) shift(taken bool, pc uint64, hists []int) {
 type Snapshot struct {
 	bits     [ghrBits / 64]uint64
 	pos      int
+	recent   uint64
 	phist    uint64
 	idxFold  [nTables]folded
 	tagFold1 [nTables]folded
@@ -98,6 +111,7 @@ func (h *history) snapshot() Snapshot {
 	return Snapshot{
 		bits:     h.bits,
 		pos:      h.pos,
+		recent:   h.recent,
 		phist:    h.phist,
 		idxFold:  h.idxFold,
 		tagFold1: h.tagFold1,
@@ -108,6 +122,7 @@ func (h *history) snapshot() Snapshot {
 func (h *history) restore(s Snapshot) {
 	h.bits = s.bits
 	h.pos = s.pos
+	h.recent = s.recent
 	h.phist = s.phist
 	h.idxFold = s.idxFold
 	h.tagFold1 = s.tagFold1

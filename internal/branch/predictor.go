@@ -36,6 +36,19 @@ func NewPredictor() *Predictor {
 // Predict speculatively shifts the predicted outcome into the global
 // history; use Snapshot/Restore to rewind on squash.
 func (p *Predictor) Predict(pc uint64) (bool, Info) {
+	pred, info := p.PredictNoShift(pc)
+	p.ShiftHistory(pred, pc)
+	return pred, info
+}
+
+// PredictNoShift computes the prediction without shifting it into the
+// speculative history. It lets the core look at the prediction first and
+// take a history Snapshot only when it will actually need one (the
+// simulator knows the true outcome at fetch, so only mispredicted
+// branches are ever rewound) before committing the shift with
+// ShiftHistory. PredictNoShift followed by ShiftHistory(pred, pc) is
+// exactly Predict.
+func (p *Predictor) PredictNoShift(pc uint64) (bool, Info) {
 	var info Info
 	pred := p.tage.predict(pc, &info)
 
@@ -72,9 +85,14 @@ func (p *Predictor) Predict(pc uint64) (bool, Info) {
 	}
 
 	info.PredTaken = pred
+	return pred, info
+}
+
+// ShiftHistory speculatively shifts a prediction made by PredictNoShift
+// into the global history and counts the prediction.
+func (p *Predictor) ShiftHistory(pred bool, pc uint64) {
 	p.hist().shift(pred, pc, historyLens)
 	p.predictions++
-	return pred, info
 }
 
 // tageWeak reports whether the TAGE prediction came from a weak counter
@@ -90,11 +108,16 @@ func (p *Predictor) tageWeak(info *Info) bool {
 }
 
 func (p *Predictor) scIndex(pc uint64, table int) uint32 {
-	h := p.hist()
+	// The corrector's history lengths all fit inside the recent-64 mirror,
+	// so the fold walks a register instead of ring lookups per bit. The
+	// recurrence itself is serial by construction (each step folds the
+	// running hash), but each step is now two shifts and an or.
+	r := p.hist().recent
 	var fold uint32
-	for d := 1; d <= scHistLens[table]; d++ {
-		fold = (fold << 1) | h.bit(d)
+	for d := scHistLens[table]; d > 0; d-- {
+		fold = (fold << 1) | uint32(r&1)
 		fold ^= fold >> logSC
+		r >>= 1
 	}
 	return (uint32(pc>>2) ^ fold ^ uint32(table)<<5) & ((1 << logSC) - 1)
 }

@@ -58,12 +58,33 @@ func (c *Core) audit() {
 		fail("lqCount=%d but %d ROB loads hold LQ entries", c.lqCount, lq)
 	}
 
-	// IQ: entries are live, waiting, and within capacity.
+	// IQ: entries are live, waiting, and within capacity. Tombstones left
+	// by the lazy-compacting issue loop are squeezed out first so the
+	// checks (and the positional layout injection sees) match a per-cycle-
+	// compacting queue exactly.
+	c.compactIQ()
 	if len(c.iq) > c.cfg.IQ {
 		fail("IQ over capacity: %d > %d", len(c.iq), c.cfg.IQ)
 	}
-	for _, u := range c.iq {
-		if u.state != uopDispatched && u.state != uopDead {
+	if c.iqLive != len(c.iq) {
+		fail("iqLive=%d but compacted IQ holds %d entries", c.iqLive, len(c.iq))
+	}
+	listed := make(map[*uop]uint64, len(c.readyList))
+	for i, w := range c.readyList {
+		if i > 0 && c.readyList[i-1].seq > w.seq {
+			fail("ready list age order violated at %d: %d after %d",
+				i, w.seq, c.readyList[i-1].seq)
+		}
+		if w.u.seq == w.seq && w.u.state == uopDispatched {
+			listed[w.u] = w.seq
+		}
+	}
+	for _, w := range c.iq {
+		u := w.u
+		if u.seq != w.seq {
+			fail("IQ entry seq=%d survived compaction but uop is seq=%d", w.seq, u.seq)
+		}
+		if u.state != uopDispatched {
 			fail("IQ holds seq=%d in state %d", u.seq, u.state)
 		}
 		if !u.runahead && u.robIdx < 0 && !u.inst.IsNop() {
@@ -74,8 +95,15 @@ func (c *Core) audit() {
 		// re-polling). notReady == 0 with unready sources is legal — PRE's
 		// register recycling re-poisons a source behind the filter's back,
 		// and issueStage's srcsReady confirm catches exactly that case.
-		if u.state == uopDispatched && u.notReady > 0 && c.srcsReady(u) {
+		if u.notReady > 0 && c.srcsReady(u) {
 			fail("IQ seq=%d notReady=%d but all sources ready", u.seq, u.notReady)
+		}
+		// Ready-list coverage: an entry whose wakeup filter has drained
+		// must be visible to the issue loop, or it would never issue.
+		if u.notReady == 0 {
+			if _, ok := listed[u]; !ok {
+				fail("IQ seq=%d has notReady=0 but is missing from the ready list", u.seq)
+			}
 		}
 	}
 

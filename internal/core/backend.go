@@ -12,9 +12,8 @@ import (
 // back-end. In normal mode this allocates ROB/IQ/LQ/SQ entries and renames;
 // in runahead mode dispatch is handled by dispatchRunahead (no ROB).
 func (c *Core) dispatchStage() {
-	popped := 0
-	for n := 0; n < c.cfg.Width && popped < len(c.frontQ); n++ {
-		u := c.frontQ[popped]
+	for n := 0; n < c.cfg.Width && c.frontQ.len() > 0; n++ {
+		u := c.frontQ.at(0)
 		if u.frontReadyAt > c.cycle {
 			break
 		}
@@ -27,17 +26,8 @@ func (c *Core) dispatchStage() {
 		if !ok {
 			break // structural stall: retry next cycle, in order
 		}
-		popped++
-	}
-	if popped > 0 {
-		// Compact instead of re-slicing: a [1:] pop strands the front of
-		// the backing array, so the paired fetch append re-allocates the
-		// queue every few thousand cycles.
-		rest := copy(c.frontQ, c.frontQ[popped:])
-		for i := rest; i < rest+popped; i++ {
-			c.frontQ[i] = nil
-		}
-		c.frontQ = c.frontQ[:rest]
+		c.frontQ.popFront()
+		c.progress++
 	}
 }
 
@@ -51,7 +41,7 @@ func (c *Core) dispatchStage() {
 func (c *Core) dispatchStalled(u *uop) bool {
 	in := &u.inst
 	return c.robCount == c.cfg.ROB ||
-		(!in.IsNop() && len(c.iq) >= c.cfg.IQ) ||
+		(!in.IsNop() && c.iqLive >= c.cfg.IQ) ||
 		(in.IsLoad() && c.lqCount >= c.cfg.LQ) ||
 		(in.IsStore() && len(c.sqList) >= c.cfg.SQ) ||
 		(in.HasDest() && !c.regs.canAlloc(in.Dest.IsFp()))
@@ -183,13 +173,18 @@ func (c *Core) enqueueIQ(u *uop) {
 			c.waiters[p] = append(c.waiters[p], waiter{u, u.seq})
 		}
 	}
-	c.iq = append(c.iq, u)
+	c.iq = append(c.iq, waiter{u, u.seq})
+	c.iqLive++
+	if u.notReady == 0 {
+		c.pushReady(u)
+	}
 }
 
 // markReady publishes physical register p as ready and wakes the uops
 // registered as waiting on it. Registrations from squashed consumers are
 // inert (the pooled uop record carries a newer seq); registrations from
 // before a recycling of p are live and correct to wake (see enqueueIQ).
+// A uop whose last unready source arrives becomes an issue candidate.
 //
 //rarlint:hot
 func (c *Core) markReady(p int16) {
@@ -198,31 +193,102 @@ func (c *Core) markReady(p int16) {
 	for _, w := range ws {
 		if w.u.seq == w.seq && w.u.notReady > 0 {
 			w.u.notReady--
+			if w.u.notReady == 0 {
+				c.pushReady(w.u)
+			}
 		}
 	}
 	c.waiters[p] = ws[:0]
 }
 
+// pushReady inserts u into the ready list, keeping it sorted by seq so
+// issue stays oldest-first. notReady never rises again once it reaches
+// zero, so each uop incarnation is pushed exactly once — at enqueue when
+// all sources are already ready, or at its final wakeup. Pushes are
+// near-sorted already (wakeups follow dispatch order closely), so the
+// insertion scan is almost always a plain append.
+//
+//rarlint:hot
+func (c *Core) pushReady(u *uop) {
+	i := len(c.readyList)
+	c.readyList = append(c.readyList, waiter{})
+	for i > 0 && c.readyList[i-1].seq > u.seq {
+		c.readyList[i] = c.readyList[i-1]
+		i--
+	}
+	c.readyList[i] = waiter{u, u.seq}
+}
+
+// iqCompactThreshold is the tombstone count at which issueStage compacts
+// the issue queue (see compactIQ).
+const iqCompactThreshold = 32
+
+// compactIQ drops every entry that is no longer a waiting dispatched uop —
+// issued tombstones and squashed leftovers — restoring the dense dispatch-
+// order layout the per-cycle-compacting implementation maintained. Audit
+// and fault injection index IQ slots positionally, so both force a
+// compaction before looking; the hot path compacts only when tombstones
+// have piled up.
+//
+//rarlint:hot
+func (c *Core) compactIQ() {
+	if c.iqTomb == 0 {
+		return
+	}
+	c.rebuildIQ()
+}
+
+// rebuildIQ unconditionally compacts the issue queue down to its live
+// waiting entries (seq guard intact and still dispatched) and recounts.
+func (c *Core) rebuildIQ() {
+	kept := c.iq[:0]
+	for _, w := range c.iq {
+		if w.u.seq == w.seq && w.u.state == uopDispatched {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(c.iq); i++ {
+		c.iq[i] = waiter{}
+	}
+	c.iq = kept
+	c.iqLive = len(kept)
+	c.iqTomb = 0
+}
+
 // issueStage selects up to Width ready uops, oldest first, and starts them
-// on functional units; loads and stores additionally access memory.
+// on functional units; loads and stores additionally access memory. Only
+// the ready list is scanned — the blocked majority of the issue queue
+// (notReady > 0) is never touched; it wakes event-driven via markReady.
+//
+//rarlint:hot
 func (c *Core) issueStage() {
 	for i := range c.fuIssued {
 		c.fuIssued[i] = 0
 	}
 	issued := 0
-	kept := c.iq[:0]
-	for _, u := range c.iq {
-		if u.state != uopDispatched {
-			continue // dead: drop from the queue
+	kept := c.readyList[:0]
+	for _, w := range c.readyList {
+		u := w.u
+		if u.seq != w.seq || u.state != uopDispatched {
+			continue // stale: issued earlier, squashed, or recycled
 		}
-		if u.notReady != 0 || issued >= c.cfg.Width || u.retryAt > c.cycle ||
+		if issued >= c.cfg.Width || u.retryAt > c.cycle ||
 			!c.srcsReady(u) || !c.tryIssue(u) {
-			kept = append(kept, u)
+			kept = append(kept, w)
 			continue
 		}
 		issued++
+		// The issued uop stays in c.iq as a tombstone until compaction.
+		c.iqTomb++
+		c.iqLive--
 	}
-	c.iq = kept
+	c.readyList = kept
+	if issued > 0 {
+		c.progress++
+	}
+	if c.iqTomb >= iqCompactThreshold {
+		c.compactIQ()
+	}
 }
 
 // tryIssue attempts to start u this cycle. It returns false when no unit
@@ -295,7 +361,7 @@ func (c *Core) tryIssue(u *uop) bool {
 	u.hbAtIssue, u.fsAtIssue = c.ledger.Cum()
 	u.issueValid = true
 	c.s.TotalIssued++
-	c.execList = append(c.execList, u)
+	c.scheduleCompletion(u)
 	if u.runahead {
 		c.s.RunaheadExecuted++
 	}
@@ -325,25 +391,107 @@ func (c *Core) forwardFromStore(u *uop) (doneAt uint64, ok bool) {
 // completeStage retires finished executions: wakes dependents, resolves
 // branches (including misprediction recovery), and marks uops completed.
 //
+// cwSize is the completion wheel's window in cycles: completions within
+// cwSize cycles sit in their bucket, later ones (DRAM fills) wait in the
+// overflow list. A power of two so the bucket index is a mask.
+const cwSize = 256
+
+// cwBucketCap is each bucket's preallocated capacity (see NewWithHierarchy);
+// a bucket deeper than this grows normally and keeps the larger backing.
+const cwBucketCap = 32
+
+// cwEntry is an overflow registration: doneAt is recorded at insertion so
+// migration never has to dereference a possibly-recycled uop.
+type cwEntry struct {
+	u      *uop
+	seq    uint64
+	doneAt uint64
+}
+
+// scheduleCompletion registers an issued uop's completion on the wheel.
+// doneAt is always at least c.cycle+1 when issue succeeds, so the bucket
+// the entry lands in is drained before the index can wrap.
+//
 //rarlint:hot
-func (c *Core) completeStage() {
-	done := c.doneScratch[:0]
-	kept := c.execList[:0]
-	for _, u := range c.execList {
-		if u.state == uopDead {
-			continue
-		}
-		if u.doneAt <= c.cycle {
-			done = append(done, u)
-		} else {
-			kept = append(kept, u)
+func (c *Core) scheduleCompletion(u *uop) {
+	d := u.doneAt
+	if d <= c.cycle {
+		// Defensive: the scan-based predecessor completed a same-cycle
+		// doneAt on the next cycle's pass; pin the wheel to the same
+		// schedule.
+		d = c.cycle + 1
+	}
+	if d-c.cycle < cwSize {
+		i := d & (cwSize - 1)
+		c.cwBuckets[i] = append(c.cwBuckets[i], waiter{u, u.seq})
+	} else {
+		c.cwOverflow = append(c.cwOverflow, cwEntry{u, u.seq, d})
+		if d < c.cwOvMin {
+			c.cwOvMin = d
 		}
 	}
-	c.execList = kept
+	c.cwCount++
+}
+
+// migrateOverflow moves overflow completions that entered the wheel window
+// into their buckets and recomputes the watermark. An entry due exactly
+// now lands in this cycle's bucket, which completeStage drains right after
+// — identical timing to the scan-based predecessor.
+func (c *Core) migrateOverflow() {
+	kept := c.cwOverflow[:0]
+	min := NoEventCycle
+	for _, e := range c.cwOverflow {
+		if e.doneAt >= c.cycle+cwSize {
+			kept = append(kept, e)
+			if e.doneAt < min {
+				min = e.doneAt
+			}
+			continue
+		}
+		if e.u.seq == e.seq && e.u.state == uopIssued {
+			c.cwBuckets[e.doneAt&(cwSize-1)] = append(c.cwBuckets[e.doneAt&(cwSize-1)], waiter{e.u, e.seq})
+		} else {
+			c.cwCount-- // stale: the uop was squashed (or recycled) while waiting
+		}
+	}
+	c.cwOverflow = kept
+	c.cwOvMin = min
+}
+
+//rarlint:hot
+func (c *Core) completeStage() {
+	// Fast paths: nothing in flight at all, then nothing due this cycle.
+	// The wheel holds every pending completion in the bucket of its due
+	// cycle, so a cycle with no completions is two compares and a nil
+	// bucket check — no scan, no compaction.
+	if c.cwCount == 0 {
+		return
+	}
+	if c.cwOvMin < c.cycle+cwSize {
+		c.migrateOverflow()
+	}
+	slot := c.cycle & (cwSize - 1)
+	b := c.cwBuckets[slot]
+	if len(b) == 0 {
+		return
+	}
+	c.cwBuckets[slot] = b[:0]
+	c.cwCount -= len(b)
+	done := c.doneScratch[:0]
+	for _, w := range b {
+		// Stale entries — squashed uops, or recycled records carrying a
+		// newer seq — drop here; live ones are exactly the issued uops
+		// whose doneAt is this cycle.
+		if w.u.seq != w.seq || w.u.state != uopIssued {
+			continue
+		}
+		done = append(done, w.u)
+	}
 	c.doneScratch = done
 	if len(done) == 0 {
 		return
 	}
+	c.progress++
 	// Resolve oldest-first: an older mispredicted branch squashes younger
 	// completions in the same cycle. The batch is small (bounded by uops
 	// finishing on one cycle), so an insertion sort beats sort.Slice.
@@ -387,7 +535,7 @@ func (c *Core) recoverMispredict(u *uop) {
 	c.squashYounger(u.seq)
 	c.clearWrongPath()
 	c.stream.rewind(u.streamIdx + 1)
-	c.bp.Restore(u.bpSnap, true, u.inst.PC, u.inst.Taken)
+	c.bp.Restore(c.bpSnapArena[u.bpSnap], true, u.inst.PC, u.inst.Taken)
 	if u.inst.Taken {
 		c.btb.Insert(u.inst.PC, u.inst.Target)
 	}
@@ -401,7 +549,10 @@ func (c *Core) recoverMispredict(u *uop) {
 func (c *Core) squashYounger(seqB uint64) {
 	squashed := c.squashScratch[:0]
 	for c.robCount > 0 {
-		tail := (c.robHead + c.robCount - 1) % c.cfg.ROB
+		tail := c.robHead + c.robCount - 1
+		if tail >= c.cfg.ROB {
+			tail -= c.cfg.ROB
+		}
 		u := c.rob[tail]
 		if u.seq <= seqB {
 			break
@@ -426,23 +577,13 @@ func (c *Core) squashYounger(seqB uint64) {
 	c.squashScratch = squashed[:0]
 }
 
-// filterSecondary drops dead uops from the issue queue, execution list and
-// store queue.
+// filterSecondary drops dead uops from the issue queue and store queue.
+// Completion-wheel entries are NOT purged here: a squashed uop's entry is
+// made inert by the seq/state guard and is dropped when its bucket drains
+// (or at overflow migration), so squash paths stay O(squashed), not
+// O(in-flight).
 func (c *Core) filterSecondary() {
-	iq := c.iq[:0]
-	for _, u := range c.iq {
-		if u.state != uopDead {
-			iq = append(iq, u)
-		}
-	}
-	c.iq = iq
-	ex := c.execList[:0]
-	for _, u := range c.execList {
-		if u.state != uopDead {
-			ex = append(ex, u)
-		}
-	}
-	c.execList = ex
+	c.rebuildIQ()
 	sq := c.sqList[:0]
 	for _, u := range c.sqList {
 		if u.state != uopDead {
@@ -475,9 +616,13 @@ func (c *Core) commitStage() {
 		}
 		c.commitUop(u)
 		c.rob[c.robHead] = nil
-		c.robHead = (c.robHead + 1) % c.cfg.ROB
+		c.robHead++
+		if c.robHead == c.cfg.ROB {
+			c.robHead = 0
+		}
 		c.robCount--
 		c.release(u)
+		c.progress++
 	}
 }
 
@@ -589,6 +734,7 @@ func (c *Core) drainStores() {
 	if res.MSHRStall {
 		return
 	}
+	c.progress++
 	// Compact instead of re-slicing so the buffer's capacity is reused
 	// forever (see dispatchStage); the buffer is bounded by
 	// PostCommitStoreBuffer entries, so the copy is cheap.

@@ -37,7 +37,11 @@ type Core struct {
 	scheme config.Scheme
 	bits   ace.Bits
 
-	gen    trace.Source
+	gen trace.Source
+	// genBlk is gen's batch face when it has one (trace.BlockSource);
+	// nil forces the scalar per-instruction path (A/B equivalence runs
+	// wrap the source in trace.ScalarOnly to get exactly that).
+	genBlk trace.BlockSource
 	stream *streamBuf
 	bp     *branch.Predictor
 	btb    *branch.BTB
@@ -50,10 +54,13 @@ type Core struct {
 	seq   uint64
 
 	// Front-end.
-	frontQ          []*uop
+	frontQ          frontRing
 	fetchStallUntil uint64 //rarlint:unit cycles
 	wrongPath       bool
 	wpPC            uint64
+	// wpScratch receives one fetch group's batch of synthesised
+	// wrong-path instructions (fetchWrongPathGroup); sized Width.
+	wpScratch []isa.Inst
 	// wpSynthetic counts synthesised wrong-path instructions still to
 	// fetch: >0 for a bounded hammock body, -1 for a non-reconvergent
 	// path, 0 while off-path means fetch reconverged onto the stream.
@@ -63,10 +70,48 @@ type Core struct {
 	rob      []*uop
 	robHead  int
 	robCount int
-	iq       []*uop
-	lqCount  int
-	sqList   []*uop // in-flight stores, age order, for forwarding
-	execList []*uop
+	// iq is the issue queue in dispatch (seq) order. Issued entries are
+	// left behind as seq-guarded tombstones rather than compacted out
+	// every cycle — an issued uop can commit and be pool-recycled while
+	// its slot lingers, and uopDispatched is the uop zero state, so only
+	// the seq guard distinguishes a waiting entry from a stale one.
+	// iqLive counts the live waiting entries (the architectural IQ
+	// occupancy — capacity checks use it) and iqTomb the tombstones.
+	// compactIQ restores the fully compacted layout — exactly the slice a
+	// per-cycle-compacting implementation maintains — before any observer
+	// (audit, fault injection) looks at slot positions.
+	iq     []waiter
+	iqLive int
+	iqTomb int
+	// readyList holds the issue candidates in seq order: every live
+	// dispatched uop whose notReady filter has hit zero. Entries are
+	// seq-guarded like waiter registrations — issued, squashed or recycled
+	// uops go stale and are dropped lazily as issueStage walks the list —
+	// so issueStage and the next-event probe scan a handful of candidates
+	// instead of the whole queue.
+	//rarlint:survives seq-guarded: entries registered in runahead are inert after the squash recycles their uops
+	readyList []waiter
+	lqCount   int
+	sqList    []*uop // in-flight stores, age order, for forwarding
+	// Completion wheel: in-flight executions bucketed by completion cycle
+	// (a calendar queue), so completeStage touches exactly the uops due
+	// this cycle instead of scanning and compacting the whole in-flight
+	// set every cycle. Bucket i at cycle t holds entries due at the unique
+	// cycle ≡ i (mod cwSize) within (t, t+cwSize]; completions further out
+	// (DRAM fills) wait in cwOverflow and migrate into buckets when the
+	// clock comes within a window of them. Entries are seq-guarded like
+	// waiter registrations — squashed or recycled uops go stale in place
+	// and are dropped when their bucket drains, which is why none of this
+	// needs rewinding at a flush or runahead exit.
+	cwBuckets  [cwSize][]waiter
+	cwOverflow []cwEntry
+	// cwOvMin is the earliest doneAt in cwOverflow (NoEventCycle when
+	// empty); it may go stale-low via squashed entries, which costs a
+	// redundant migration scan, never a missed completion.
+	cwOvMin uint64 //rarlint:unit cycles
+	// cwCount is the number of wheel entries, live or stale; zero means
+	// completeStage has nothing to do at all.
+	cwCount int
 
 	// waiters holds, per physical register, the issue-queue uops waiting
 	// for it to become ready (see backend.go: enqueueIQ/markReady). Each
@@ -74,6 +119,15 @@ type Core struct {
 	// on the incarnation that registered it.
 	//rarlint:survives seq-guarded: entries registered in runahead are inert after the squash recycles their uops
 	waiters [][]waiter
+
+	// bpSnapArena backs the history snapshots of in-flight mispredicted
+	// branches, indexed by uop.bpSnap. Only mispredicts allocate a slot
+	// (a handful live at once), so the ~200-byte Snapshot stays out of
+	// the uop record. Slots recycle through bpSnapFree when the owning
+	// uop is released; a freed slot's content is dead, so neither list
+	// needs restoring at runahead exit.
+	bpSnapArena []branch.Snapshot
+	bpSnapFree  []int32
 
 	// doneScratch is completeStage's reusable completion buffer.
 	doneScratch []*uop
@@ -126,6 +180,16 @@ type Core struct {
 
 	// ffInstructions counts instructions skipped functionally.
 	ffInstructions uint64
+
+	// progress increments whenever a stage moves machine state forward
+	// (fetch, dispatch, issue, complete, commit, store drain, mode
+	// transitions). RunWarm consults it to skip the next-event probe on
+	// busy cycles: a cycle that made progress is near-certainly followed
+	// by a busy cycle, so probing it is pure overhead. The guard is a
+	// heuristic with a one-sided failure mode — a missed bump just runs
+	// the probe (status quo), an over-bump costs at most one extra ticked
+	// cycle per stall window — so it can never change results.
+	progress uint64
 
 	// Stall fast-forward (ff.go): noFF disables the quiescent-cycle skip
 	// (its zero value keeps the skip on); ffSkipped counts cycles advanced
@@ -274,16 +338,36 @@ func NewWithHierarchy(cfg config.Core, scheme config.Scheme, name string, gen tr
 		sstT:    newSST(cfg.SST),
 		prod:    newProducers(12),
 	}
+	if b, ok := gen.(trace.BlockSource); ok {
+		c.genBlk = b
+	}
+	c.cwOvMin = NoEventCycle
+	// Pre-size the completion-wheel buckets out of one contiguous backing
+	// array. Unlike a single flat list, 256 independent slices each chase
+	// their own high-water mark — without preallocation, rare
+	// (bucket, depth) combinations keep allocating far into steady state.
+	cwBacking := make([]waiter, cwSize*cwBucketCap)
+	for i := range c.cwBuckets {
+		c.cwBuckets[i] = cwBacking[i*cwBucketCap : i*cwBucketCap : (i+1)*cwBucketCap]
+	}
+	c.cwOverflow = make([]cwEntry, 0, cfg.ROB)
+	// Fetch checks the soft cap before a group and then pushes up to one
+	// full group, so frontQCap()+Width bounds occupancy.
+	c.frontQ = newFrontRing(c.frontQCap() + cfg.Width)
+	c.wpScratch = make([]isa.Inst, cfg.Width)
 	// Pre-size every per-register waiter list out of one contiguous
-	// backing array: a register can have at most 2*IQ simultaneous
-	// registrations (each queue entry registers once per source), and
-	// growing the lists on demand keeps allocating on the hot path for
-	// hundreds of thousands of cycles as rare combinations set new
-	// high-water marks.
+	// backing array, so the lists stop allocating on the hot path as rare
+	// combinations set new high-water marks. The per-register capacity is
+	// deliberately small: sizing every list for the 2*IQ worst case put
+	// registers ~3KB apart — a megabyte of backing whose appends missed
+	// cache on nearly every registration. Sixteen entries cover the
+	// common case with the whole backing L2-resident; the rare register
+	// that collects more waiters grows its own slice once and keeps it.
 	nRegs := cfg.IntRegs + cfg.FpRegs
-	backing := make([]waiter, nRegs*2*cfg.IQ)
+	const wcap = 16
+	backing := make([]waiter, nRegs*wcap)
 	for i := range c.waiters {
-		c.waiters[i] = backing[i*2*cfg.IQ : i*2*cfg.IQ : (i+1)*2*cfg.IQ]
+		c.waiters[i] = backing[i*wcap : i*wcap : (i+1)*wcap]
 	}
 	c.fuPools[fuIntAdd] = cfg.IntAdd
 	c.fuPools[fuIntMult] = cfg.IntMult
@@ -347,6 +431,14 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 	}
 	lastCommit := base
 	var ticked, lastCommitTick uint64
+	// progMark trails c.progress by one cycle: when a cycle moved machine
+	// state, the next cycle is near-certainly busy and the next-event probe
+	// is skipped outright. Compute-bound runs make progress almost every
+	// cycle, so they stop paying for the fast-forward they never use; the
+	// first quiescent cycle re-arms the probe. Starting unequal to
+	// c.progress makes the first iteration skip the probe (it cannot know
+	// quiescence yet anyway).
+	progMark := c.progress - 1
 	for c.s.Committed < total {
 		c.cycle++
 		c.ledger.SetCycle(c.cycle)
@@ -380,10 +472,14 @@ func (c *Core) RunWarm(warmup, measured uint64) (Stats, error) {
 			return c.s, fmt.Errorf(
 				"core: deadlock: no commit for %d ticked cycles at cycle %d (core=%s bench=%s scheme=%s rob=%d iq=%d frontQ=%d mode=%d ffSkipped=%d)",
 				watchdogWindow, c.cycle, c.s.CoreName, c.s.Benchmark, c.s.Scheme,
-				c.robCount, len(c.iq), len(c.frontQ), c.mode, c.ffSkipped)
+				c.robCount, c.iqLive, c.frontQ.len(), c.mode, c.ffSkipped)
 		}
 		if !c.noFF && c.s.Committed < total {
-			c.skipStall()
+			if c.progress == progMark {
+				c.skipStall()
+			} else {
+				progMark = c.progress
+			}
 		}
 	}
 	c.finalizeStats()
@@ -416,6 +512,12 @@ func (c *Core) Step() {
 
 // Committed returns the number of instructions committed so far.
 func (c *Core) Committed() uint64 { return c.s.Committed }
+
+// Progress returns a counter that advances whenever any pipeline stage
+// moves machine state forward. A chip-level driver can compare successive
+// values to tell a busy core (progress moved — certainly steppable next
+// cycle) from a quiescent one worth probing with NextEventCycle.
+func (c *Core) Progress() uint64 { return c.progress }
 
 // Snapshot finalises and returns the current statistics without ending
 // the simulation.
@@ -521,7 +623,14 @@ func (c *Core) robHeadUop() *uop {
 }
 
 func (c *Core) robTailIdx() int {
-	return (c.robHead + c.robCount) % c.cfg.ROB
+	// Both operands are < ROB, so one conditional subtraction replaces the
+	// integer division the compiler would emit for % (ROB is not a power
+	// of two, and this runs for every dispatched uop).
+	if t := c.robHead + c.robCount; t < c.cfg.ROB {
+		return t
+	} else {
+		return t - c.cfg.ROB
+	}
 }
 
 func (c *Core) finalizeStats() {

@@ -104,7 +104,7 @@ func (c *Core) nextEventCycle() uint64 {
 	// Fetch: acts when its stall expires, unless the front-end pipe is at
 	// capacity (then only dispatch progress — an event below — unblocks it).
 	t := noEvent
-	if len(c.frontQ) < c.frontQCap() {
+	if c.frontQ.len() < c.frontQCap() {
 		if c.fetchStallUntil <= busy {
 			return busy
 		}
@@ -115,8 +115,8 @@ func (c *Core) nextEventCycle() uint64 {
 	// stalled head waits for a commit/completion/squash — all events in
 	// their own right. In runahead mode dispatch consumes (or drops) every
 	// instruction as long as the PRDQ has room.
-	if len(c.frontQ) > 0 {
-		u := c.frontQ[0]
+	if c.frontQ.len() > 0 {
+		u := c.frontQ.at(0)
 		stalled := false
 		if c.mode == modeRunahead {
 			stalled = len(c.prdq) >= c.cfg.PRDQ
@@ -141,25 +141,43 @@ func (c *Core) nextEventCycle() uint64 {
 	}
 
 	// Execution completions: FU latencies and memory return times
-	// (uop.doneAt carries the hierarchy's DRAM/LLC fill cycle).
-	for _, u := range c.execList {
-		if u.state == uopDead {
-			continue
+	// (uop.doneAt carries the hierarchy's DRAM/LLC fill cycle). The wheel
+	// is probed by bucket occupancy alone — no uop is dereferenced. Every
+	// occupied bucket lies strictly ahead of the current cycle (past
+	// buckets were drained when their cycle ticked), so the first
+	// non-empty bucket from busy onward is the earliest in-window
+	// completion; cwOvMin bounds the out-of-window ones. A bucket kept
+	// non-empty only by stale (squashed) entries merely wakes the core
+	// early — by the equivalence contract, ticking an extra idle cycle
+	// changes nothing.
+	if c.cwCount > 0 {
+		for k := uint64(1); k < cwSize; k++ {
+			if len(c.cwBuckets[(c.cycle+k)&(cwSize-1)]) == 0 {
+				continue
+			}
+			if ev := c.cycle + k; ev <= busy {
+				return busy
+			} else if ev < t {
+				t = ev
+			}
+			break
 		}
-		if u.doneAt <= busy {
+		if c.cwOvMin <= busy {
 			return busy
 		}
-		if u.doneAt < t {
-			t = u.doneAt
+		if c.cwOvMin < t {
+			t = c.cwOvMin
 		}
 	}
 
 	// Issue: a waiting uop with ready sources retries as soon as its MSHR
 	// backoff expires and (for unpipelined pools) its unit frees up. Uops
 	// with unready sources wake only via a producer's completion, which is
-	// itself an execution event above.
-	for _, u := range c.iq {
-		if u.state != uopDispatched || u.notReady != 0 || !c.srcsReady(u) {
+	// itself an execution event above — so only the ready list (the exact
+	// candidate set issueStage scans) needs walking, not the whole queue.
+	for _, w := range c.readyList {
+		u := w.u
+		if u.seq != w.seq || u.state != uopDispatched || !c.srcsReady(u) {
 			continue
 		}
 		ev := max(busy, u.retryAt)

@@ -1,6 +1,9 @@
 package core
 
-import "rarsim/internal/isa"
+import (
+	"rarsim/internal/branch"
+	"rarsim/internal/isa"
+)
 
 // hammockSpan is the longest forward branch (in bytes) treated as a
 // hammock whose wrong path reconverges with the correct path. Mispredicted
@@ -10,6 +13,57 @@ import "rarsim/internal/isa"
 // Backward branches (loop back-edges) and long jumps do not reconverge
 // quickly; their wrong paths are synthesised.
 const hammockSpan = 16 * isa.InstBytes
+
+// frontRing is the front-end pipe: a fixed-capacity FIFO of in-flight
+// decoded uops between fetch and dispatch. It replaces an append/copy-down
+// slice — the old dispatch pop copied the whole queue down every cycle the
+// core dispatched, which on busy cycles was pure overhead. The ring is
+// sized to a power of two at construction so indexing is a mask, and its
+// capacity (frontQCap plus one full fetch group) is a hard bound: fetch
+// checks the soft cap before a group, so occupancy never exceeds
+// frontQCap-1+Width.
+type frontRing struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+func newFrontRing(capacity int) frontRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return frontRing{buf: make([]*uop, size)}
+}
+
+//rarlint:pure
+func (r *frontRing) len() int { return r.n }
+
+// at returns the i-th oldest entry (0 = dispatch head).
+//
+//rarlint:pure
+//rarlint:hot
+func (r *frontRing) at(i int) *uop { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+//rarlint:hot
+func (r *frontRing) push(u *uop) {
+	if r.n == len(r.buf) {
+		panic("core: front-end ring overflow")
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = u
+	r.n++
+}
+
+// popFront removes and returns the dispatch head.
+//
+//rarlint:hot
+func (r *frontRing) popFront() *uop {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return u
+}
 
 // fetchStage models the front-end: up to Width instructions per cycle from
 // the correct-path stream (or the wrong path after a misprediction),
@@ -22,28 +76,28 @@ func (c *Core) fetchStage() {
 	}
 	// The front-end pipe has finite capacity: when dispatch stalls, fetch
 	// backs up rather than running arbitrarily far ahead.
-	if len(c.frontQ) >= c.frontQCap() {
+	if c.frontQ.len() >= c.frontQCap() {
 		return
 	}
-	offPath := c.offPath()
+	// Off-path status is constant across a fetch group: fetch only goes
+	// off-path via startWrongPath, which ends the group, and only recovery
+	// outside fetch brings it back — so the whole group takes one side.
+	if c.offPath() {
+		c.fetchWrongPathGroup()
+		return
+	}
 
 	// Model the L1I for on-path fetch. Synthetic kernels are tiny, so
 	// this virtually always hits after warmup; a miss stalls fetch until
 	// the line arrives.
-	if !offPath {
-		pc := c.stream.peek().PC
-		if avail := c.hier.FetchAccess(pc, c.cycle); avail > c.cycle+c.cfg.Mem.L1ILat {
-			c.fetchStallUntil = avail
-			return
-		}
+	pc := c.stream.peek().PC
+	if avail := c.hier.FetchAccess(pc, c.cycle); avail > c.cycle+c.cfg.Mem.L1ILat {
+		c.fetchStallUntil = avail
+		return
 	}
 
+	c.progress++ // past the early-outs, the group always fetches
 	for n := 0; n < c.cfg.Width; n++ {
-		if c.offPath() {
-			c.fetchWrongPath()
-			continue
-		}
-
 		in, idx := c.stream.next()
 		u := c.newUop()
 		u.inst = in
@@ -52,16 +106,24 @@ func (c *Core) fetchStage() {
 		c.s.TotalFetched++
 
 		if !in.IsBranch() {
-			c.frontQ = append(c.frontQ, u)
+			c.frontQ.push(u)
 			continue
 		}
 
-		// Predict the branch; checkpoint history first so a squash can
-		// rewind to exactly this point.
-		u.bpSnap = c.bp.Snapshot()
-		pred, info := c.bp.Predict(in.PC)
+		// Predict the branch. Only a mispredicted branch is ever rewound
+		// (recovery restores exactly its pre-shift history), and the
+		// simulator knows the true outcome here — so the ~200-byte
+		// Snapshot copy is taken just for mispredicts instead of every
+		// branch. The snapshot state is identical either way: it is
+		// captured before the predicted outcome shifts into the history.
+		pred, info := c.bp.PredictNoShift(in.PC)
 		u.predTaken, u.bpInfo = pred, info
-		c.frontQ = append(c.frontQ, u)
+		if pred != in.Taken {
+			u.bpSnap = c.allocBpSnap()
+			c.bpSnapArena[u.bpSnap] = c.bp.Snapshot()
+		}
+		c.bp.ShiftHistory(pred, in.PC)
+		c.frontQ.push(u)
 
 		if pred != in.Taken {
 			c.startWrongPath(&in, pred)
@@ -145,29 +207,67 @@ func (c *Core) startWrongPath(in *isa.Inst, predTaken bool) {
 	}
 }
 
-// fetchWrongPath fetches one instruction while off-path: a synthesised
-// instruction while the divergent stretch lasts, then — for reconvergent
+// fetchWrongPathGroup fetches one full group while off-path: synthesised
+// instructions while the divergent stretch lasts, then — for reconvergent
 // hammocks — real future instructions marked wrong-path, whose loads
 // prefetch exactly like on a real machine.
-func (c *Core) fetchWrongPath() {
-	u := c.newUop()
-	u.frontReadyAt = c.cycle + uint64(c.cfg.FrontEndDepth)
-	if c.wpSynthetic != 0 {
-		//rarlint:allow hotalloc generator dispatch is an interface call; the generators are allocation-free
-		c.gen.WrongPath(&u.inst, c.wpPC)
-		c.wpPC += isa.InstBytes
-		if c.wpSynthetic > 0 {
-			c.wpSynthetic--
+//
+// Synthesised stretches are generated in batches: the whole remaining
+// run of synthetic slots in the group (clamped to a bounded hammock
+// body's remaining length) goes through one WrongPathBlock call instead
+// of one virtual dispatch each. The batch covers exactly the
+// instructions actually fetched this cycle — never more — because the
+// synthesiser's RNG is shared across wrong-path episodes, so
+// over-generating would perturb later episodes relative to the scalar
+// path.
+//
+//rarlint:hot
+func (c *Core) fetchWrongPathGroup() {
+	c.progress++
+	w := c.cfg.Width
+	for n := 0; n < w; {
+		if c.wpSynthetic == 0 {
+			// Reconverged onto the stream: fetch real future instructions
+			// marked wrong-path.
+			in, idx := c.stream.next()
+			in.WrongPath = true
+			u := c.newUop()
+			u.inst = in
+			u.streamIdx = idx
+			u.frontReadyAt = c.cycle + uint64(c.cfg.FrontEndDepth)
+			c.frontQ.push(u)
+			c.s.WrongPathFetched++
+			c.s.TotalFetched++
+			n++
+			continue
 		}
-	} else {
-		in, idx := c.stream.next()
-		in.WrongPath = true
-		u.inst = in
-		u.streamIdx = idx
+		k := w - n
+		if c.wpSynthetic > 0 && k > c.wpSynthetic {
+			k = c.wpSynthetic
+		}
+		if c.genBlk != nil {
+			//rarlint:allow hotalloc synthesiser dispatch is an interface call; the generators are allocation-free
+			c.genBlk.WrongPathBlock(c.wpScratch[:k], c.wpPC)
+		} else {
+			for i := 0; i < k; i++ {
+				//rarlint:allow hotalloc generator dispatch is an interface call; the generators are allocation-free
+				c.gen.WrongPath(&c.wpScratch[i], c.wpPC+uint64(i)*isa.InstBytes)
+			}
+		}
+		for i := 0; i < k; i++ {
+			u := c.newUop()
+			u.inst = c.wpScratch[i]
+			u.frontReadyAt = c.cycle + uint64(c.cfg.FrontEndDepth)
+			c.frontQ.push(u)
+			c.s.WrongPathFetched++
+			c.s.TotalFetched++
+		}
+		c.wpPC += uint64(k) * isa.InstBytes
+		if c.wpSynthetic > 0 {
+			c.wpSynthetic -= k
+		}
+		n += k
 	}
-	c.frontQ = append(c.frontQ, u)
-	c.s.WrongPathFetched++
-	c.s.TotalFetched++
 }
 
 // clearWrongPath resets all off-path fetch state (recovery, flush,
@@ -186,14 +286,28 @@ func (c *Core) newUop() *uop {
 	u.src = [2]int16{-1, -1}
 	u.dest, u.prevDest = -1, -1
 	u.robIdx = -1
+	u.bpSnap = -1
 	return u
+}
+
+// allocBpSnap reserves a snapshot-arena slot for a mispredicted branch.
+//
+//rarlint:hot
+func (c *Core) allocBpSnap() int32 {
+	if n := len(c.bpSnapFree); n > 0 {
+		idx := c.bpSnapFree[n-1]
+		c.bpSnapFree = c.bpSnapFree[:n-1]
+		return idx
+	}
+	c.bpSnapArena = append(c.bpSnapArena, branch.Snapshot{})
+	return int32(len(c.bpSnapArena) - 1)
 }
 
 // clearFrontQ squashes every instruction still in the front-end pipe.
 func (c *Core) clearFrontQ() {
-	for _, u := range c.frontQ {
+	for c.frontQ.len() > 0 {
+		u := c.frontQ.popFront()
 		u.state = uopDead
 		c.release(u)
 	}
-	c.frontQ = c.frontQ[:0]
 }

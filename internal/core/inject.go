@@ -101,11 +101,15 @@ func (c *Core) injectOccupant(st ace.Structure, slot int) *uop {
 		return u
 	case ace.IQ:
 		// The issue queue's live entries are exactly the waiting uops;
-		// an entry is vulnerable from dispatch to issue.
+		// an entry is vulnerable from dispatch to issue. Slot positions
+		// are architectural, so tombstones must be squeezed out first —
+		// compaction reproduces exactly the dense layout a per-cycle-
+		// compacting issue queue presents at this point in the cycle.
+		c.compactIQ()
 		if slot < 0 || slot >= len(c.iq) {
 			return nil
 		}
-		return c.iq[slot]
+		return c.iq[slot].u
 	case ace.LQ:
 		// Address/data fields are vulnerable from execute to commit.
 		n := 0
@@ -164,6 +168,10 @@ func (c *Core) resolveInjections(u *uop, o InjectOutcome) {
 func (c *Core) release(u *uop) {
 	if len(u.inj) > 0 {
 		c.resolveInjections(u, InjectSquashed)
+	}
+	if u.bpSnap >= 0 {
+		c.bpSnapFree = append(c.bpSnapFree, u.bpSnap)
+		u.bpSnap = -1
 	}
 	c.pool.put(u)
 }

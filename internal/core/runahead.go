@@ -32,6 +32,7 @@ func (c *Core) modeStage() {
 		c.drainPRDQ()
 		if c.blocking.doneAt <= c.cycle {
 			c.exitRunahead()
+			c.progress++
 		}
 		return
 	}
@@ -143,6 +144,7 @@ func (c *Core) modeNextEvent(head *uop) uint64 {
 // The ROB is frozen: nothing commits and nothing new is allocated in it.
 func (c *Core) enterRunahead(blocking *uop) {
 	c.s.RunaheadEntries++
+	c.progress++
 	c.mode = modeRunahead
 	c.blocking = blocking
 
@@ -163,7 +165,8 @@ func (c *Core) enterRunahead(blocking *uop) {
 	// cursor if the pipe holds none.
 	resume := c.stream.cursor()
 	onPath := false
-	for _, u := range c.frontQ {
+	for i := 0; i < c.frontQ.len(); i++ {
+		u := c.frontQ.at(i)
 		if !u.inst.WrongPath {
 			onPath = true
 			if u.streamIdx < resume {
@@ -242,7 +245,7 @@ func (c *Core) dispatchRunahead(u *uop) bool {
 		c.dropRunahead(u, inv)
 		return true
 	}
-	if len(c.iq) >= c.cfg.IQ {
+	if c.iqLive >= c.cfg.IQ {
 		// Undo the PRDQ/rename allocation and stall dispatch.
 		c.prdq = c.prdq[:len(c.prdq)-1]
 		if u.dest >= 0 {
@@ -299,6 +302,7 @@ func (c *Core) drainPRDQ() {
 		c.release(u)
 	}
 	if n > 0 {
+		c.progress++
 		// Compact instead of re-slicing so the queue's capacity is
 		// reused forever (see dispatchStage); the PRDQ is bounded by
 		// cfg.PRDQ entries.
@@ -317,7 +321,7 @@ func (c *Core) redirectRunahead(u *uop) {
 	c.squashRunaheadYounger(u.seq)
 	c.raDiverged = false
 	c.stream.rewind(u.streamIdx + 1)
-	c.bp.Restore(u.bpSnap, true, u.inst.PC, u.inst.Taken)
+	c.bp.Restore(c.bpSnapArena[u.bpSnap], true, u.inst.PC, u.inst.Taken)
 	if u.inst.Taken {
 		c.btb.Insert(u.inst.PC, u.inst.Target)
 	}
@@ -428,6 +432,7 @@ func (c *Core) exitRunahead() {
 // MLP: instructions past the load never get to issue their own misses.
 func (c *Core) doFlush(load *uop) {
 	c.s.Flushes++
+	c.progress++
 	c.lastFlushSeq = load.seq
 	c.squashYounger(load.seq)
 	c.stream.rewind(load.streamIdx + 1)

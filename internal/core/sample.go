@@ -19,7 +19,7 @@ import (
 // (the pseudo-clock advances one cycle per instruction). The pipeline
 // must be empty — call it before Run, or between samples via RunSampled.
 func (c *Core) FastForward(n uint64) error {
-	if c.robCount != 0 || len(c.frontQ) != 0 || c.mode != modeNormal {
+	if c.robCount != 0 || c.frontQ.len() != 0 || c.mode != modeNormal {
 		return fmt.Errorf("core: FastForward requires an empty pipeline")
 	}
 	var released uint64
@@ -77,10 +77,10 @@ func (c *Core) drain() error {
 	// next window's warmup snapshot excludes them from measurement.
 	c.commitBarrier = 0
 	deadline := c.cycle + watchdogWindow
-	for c.robCount != 0 || len(c.frontQ) != 0 || c.mode == modeRunahead || len(c.storeBuf) != 0 {
+	for c.robCount != 0 || c.frontQ.len() != 0 || c.mode == modeRunahead || len(c.storeBuf) != 0 {
 		if c.cycle > deadline {
 			return fmt.Errorf("core: drain did not converge (rob=%d frontQ=%d mode=%d)",
-				c.robCount, len(c.frontQ), c.mode)
+				c.robCount, c.frontQ.len(), c.mode)
 		}
 		c.Step()
 	}

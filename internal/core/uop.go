@@ -67,11 +67,13 @@ type uop struct {
 	longLat   bool // LLC miss or a long wait on an in-flight fill
 	memIssued bool
 
-	// Branch prediction state. bpSnap is stored by value: a pointer to a
-	// stack snapshot would force a heap allocation per fetched branch.
+	// Branch prediction state. bpSnap indexes the core's snapshot arena
+	// (-1 = none): only mispredicted branches carry a history snapshot,
+	// and keeping the ~200-byte Snapshot out of line shrinks every uop by
+	// ~40% — the pool, the ROB ring and every stage walk touch that much
+	// less cache.
 	predTaken bool
-	bpInfo    branch.Info
-	bpSnap    branch.Snapshot // history snapshot taken before prediction
+	bpSnap    int32
 
 	// ACE attribution snapshots (cumulative blocked-cycle counters at
 	// window-start events; see ace.Ledger).
@@ -83,6 +85,12 @@ type uop struct {
 	// inj holds indices of fault-injection samples tagged onto this uop
 	// (see inject.go); resolved at commit or squash.
 	inj []int32
+
+	// bpInfo sits last deliberately: at ~90 bytes it is the fattest field,
+	// and only branch uops (a minority) ever touch it — every field the
+	// non-branch stage walks read now fits in the first four cache lines
+	// instead of straddling the Info blob.
+	bpInfo branch.Info
 }
 
 func (u *uop) isLoad() bool   { return u.inst.IsLoad() }
@@ -98,11 +106,48 @@ func (p *uopPool) get() *uop {
 	if n := len(p.free); n > 0 {
 		u := p.free[n-1]
 		p.free = p.free[:n-1]
-		*u = uop{}
+		u.reset()
 		return u
 	}
 	//rarlint:allow hotalloc pool warm-up only; steady state recycles from free
 	return &uop{}
+}
+
+// reset clears a recycled uop field by field instead of `*u = uop{}`: the
+// full duffzero was a measurable slice of fetch. Two fields may keep
+// stale contents because every reader writes them first in the same
+// incarnation:
+//
+//   - inst: assigned at every fetch site before the uop is enqueued;
+//   - bpInfo: written by fetch's Predict for every on-path branch, and
+//     only ever read for on-path branches (commit-time Update) —
+//     wrong-path uops never reach it.
+//
+// predTaken is NOT exempt: completeUop compares it against the actual
+// outcome for every on-path branch, so it must not leak from a previous
+// incarnation even transiently. bpSnap (the snapshot-arena index) is
+// reset by release when the slot is returned, and newUop re-arms it to
+// -1 for the never-pooled path. inj keeps its backing array (length 0 —
+// release drains it) so tagged uops stop reallocating.
+func (u *uop) reset() {
+	u.seq = 0
+	u.state = uopDispatched
+	u.runahead, u.inv = false, false
+	u.src = [2]int16{}
+	u.dest, u.prevDest = 0, 0
+	u.notReady = 0
+	u.streamIdx = 0
+	u.robIdx = 0
+	u.inLQ, u.inSQ = false, false
+	u.frontReadyAt, u.dispatchedAt, u.issuedAt = 0, 0, 0
+	u.doneAt, u.retryAt, u.fuLatency = 0, 0, 0
+	u.llcMiss, u.longLat, u.memIssued = false, false, false
+	u.predTaken = false
+	u.hbAtDispatch, u.fsAtDispatch = 0, 0
+	u.hbAtIssue, u.fsAtIssue = 0, 0
+	u.hbAtDone, u.fsAtDone = 0, 0
+	u.issueValid = false
+	u.inj = u.inj[:0]
 }
 
 func (p *uopPool) put(u *uop) {

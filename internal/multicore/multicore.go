@@ -156,6 +156,17 @@ func (s *System) Run(instructions uint64) ([]core.Stats, error) {
 	// skipped, and accumulates ticks until the watchdog fires.
 	var ticked, lastProgressTick uint64
 	var lastSum uint64
+	// Busy-core fast path: probing NextEventCycle costs O(structures), and
+	// on a cycle that made forward progress it almost always answers "due
+	// next cycle" anyway. Track each core's progress counter and only probe
+	// after a cycle that provably did nothing — the same one-sided guard as
+	// the single-core loop: skipping the probe can only keep a core ticking
+	// (the lockstep status quo), never defer one early, so results are
+	// untouched by construction.
+	lastProg := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		lastProg[i] = c.Progress() - 1 // force a first-cycle mismatch
+	}
 	for running > 0 {
 		if !s.noFF {
 			s.skipQuietGap(done)
@@ -183,7 +194,12 @@ func (s *System) Run(instructions uint64) ([]core.Stats, error) {
 				continue
 			}
 			if !s.noFF {
-				s.nextEv[i] = c.NextEventCycle()
+				if p := c.Progress(); p != lastProg[i] {
+					lastProg[i] = p
+					s.nextEv[i] = s.chip + 1 // busy: assume due, skip the probe
+				} else {
+					s.nextEv[i] = c.NextEventCycle()
+				}
 			}
 		}
 		var sum uint64

@@ -246,8 +246,33 @@ func (fs *FileSource) Next(in *isa.Inst) {
 	}
 }
 
+// NextBlock fills dst with the next len(dst) recorded instructions,
+// looping at the end — the batch face of Next (see BlockSource). Each
+// wrap-free stretch is one bulk copy instead of a per-record interface
+// call, which is where replayed traces spend their synthesis time.
+//
+//rarlint:hot
+func (fs *FileSource) NextBlock(dst []isa.Inst) {
+	for len(dst) > 0 {
+		n := copy(dst, fs.insts[fs.pos:])
+		fs.pos += n
+		if fs.pos == len(fs.insts) {
+			fs.pos = 0
+		}
+		dst = dst[n:]
+	}
+}
+
 // WrongPath synthesises wrong-path filler (recordings only contain the
 // correct path).
 func (fs *FileSource) WrongPath(in *isa.Inst, pc uint64) {
 	fs.wp.wrongPath(in, pc)
+}
+
+// WrongPathBlock synthesises len(dst) consecutive wrong-path instructions
+// starting at pc — the batch face of WrongPath (see BlockSource).
+//
+//rarlint:hot
+func (fs *FileSource) WrongPathBlock(dst []isa.Inst, pc uint64) {
+	fs.wp.wrongPathBlock(dst, pc)
 }

@@ -226,6 +226,21 @@ func (g *Generator) Next(in *isa.Inst) {
 	g.emitted++
 }
 
+// NextBlock fills dst with the next len(dst) correct-path instructions —
+// the batch face of Next (see BlockSource). One NextBlock call replaces
+// len(dst) virtual dispatches through the Source interface with direct
+// calls on the concrete generator, and lets the consumer synthesise
+// straight into its own buffer. The walk state afterwards is exactly that
+// of len(dst) consecutive Next calls, so block and scalar reads of the
+// same generator interleave freely.
+//
+//rarlint:hot
+func (g *Generator) NextBlock(dst []isa.Inst) {
+	for i := range dst {
+		g.Next(&dst[i])
+	}
+}
+
 // wireSrcs resolves the Dep distances against the destination ring.
 func (g *Generator) wireSrcs(in *isa.Inst, op Op) {
 	if op.Dep1 > 0 {
@@ -300,6 +315,16 @@ func (s *streamState) next() uint64 {
 // dependences.
 func (g *Generator) WrongPath(in *isa.Inst, pc uint64) {
 	g.wp.wrongPath(in, pc)
+}
+
+// WrongPathBlock fills dst with len(dst) consecutive wrong-path
+// instructions starting at pc — the batch face of WrongPath (see
+// BlockSource). The synthesiser's RNG is consumed in exactly the scalar
+// order, so callers must only batch instructions that will all be fetched.
+//
+//rarlint:hot
+func (g *Generator) WrongPathBlock(dst []isa.Inst, pc uint64) {
+	g.wp.wrongPathBlock(dst, pc)
 }
 
 // WrongPathParams exposes the wrong-path synthesiser parameters for trace

@@ -15,6 +15,40 @@ type Source interface {
 	WrongPath(in *isa.Inst, pc uint64)
 }
 
+// BlockSource is the batch face of Source: a source that can fill a
+// caller-owned slice in one call instead of being driven one virtual
+// dispatch per instruction. The contract is byte-identical equivalence
+// with the scalar face — NextBlock(dst) leaves the source in exactly the
+// state of len(dst) consecutive Next calls and fills dst with exactly
+// those instructions, and WrongPathBlock(dst, pc) matches len(dst)
+// WrongPath calls at pc, pc+InstBytes, ... — so a consumer may freely mix
+// block and scalar reads of the same stream. A zero-length dst is a no-op.
+//
+// Generator and FileSource both implement it; the core's stream buffer
+// type-asserts for it and falls back to the scalar face otherwise (see
+// ScalarOnly, which deliberately hides it for A/B equivalence tests).
+type BlockSource interface {
+	Source
+	// NextBlock fills dst with the next len(dst) correct-path
+	// instructions.
+	NextBlock(dst []isa.Inst)
+	// WrongPathBlock fills dst with len(dst) consecutive wrong-path
+	// instructions starting at pc (PCs advance by isa.InstBytes).
+	WrongPathBlock(dst []isa.Inst, pc uint64)
+}
+
+// ScalarOnly wraps src so only the scalar Source face is visible: the
+// returned source never satisfies BlockSource even when src does. It
+// exists for the batched-vs-scalar A/B equivalence harness — running the
+// same workload through a ScalarOnly-wrapped generator forces every
+// consumer onto the one-instruction-at-a-time path.
+func ScalarOnly(src Source) Source { return scalarOnly{src} }
+
+type scalarOnly struct{ src Source }
+
+func (w scalarOnly) Next(in *isa.Inst)                 { w.src.Next(in) }
+func (w scalarOnly) WrongPath(in *isa.Inst, pc uint64) { w.src.WrongPath(in, pc) }
+
 // wpSynth synthesises wrong-path instructions: a mix of ALU work and
 // scattered loads into a hot region, using scratch registers that never
 // alias correct-path dependences. Shared by Generator and FileSource.
@@ -33,6 +67,19 @@ func newWpSynth(seed, base uint64) *wpSynth {
 // params returns the synthesiser's construction parameters, so trace
 // recordings can reproduce the exact same wrong-path stream on replay.
 func (w *wpSynth) params() (seed, base uint64) { return w.seed, w.base }
+
+// wrongPathBlock synthesises len(dst) consecutive wrong-path instructions
+// starting at pc — the batch face of wrongPath, consuming the synthesiser's
+// RNG in exactly the same order. Callers must only batch instructions that
+// will all actually be fetched: the RNG state is shared across wrong-path
+// episodes, so over-generating would perturb later episodes relative to the
+// scalar path.
+func (w *wpSynth) wrongPathBlock(dst []isa.Inst, pc uint64) {
+	for i := range dst {
+		w.wrongPath(&dst[i], pc)
+		pc += isa.InstBytes
+	}
+}
 
 func (w *wpSynth) wrongPath(in *isa.Inst, pc uint64) {
 	*in = isa.Inst{
