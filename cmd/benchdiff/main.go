@@ -20,8 +20,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+)
+
+// Exit codes, mirroring rarlint's contract: 0 clean, 1 regression,
+// 2 usage or load error.
+const (
+	exitClean     = 0
+	exitRegressed = 1
+	exitError     = 2
 )
 
 // report mirrors the subset of the BENCH_core.json schema the diff needs;
@@ -60,19 +69,36 @@ func load(path string) (*report, error) {
 }
 
 func main() {
-	tol := flag.Float64("tolerance", 0.10, "maximum allowed per-cell regression (0.10 = 10%)")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.10] old.json new.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the exit-code contract
+// CI depends on is itself testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tolerance", 0.10, "maximum allowed per-cell regression (0.10 = 10%)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [-tolerance 0.10] old.json new.json")
 	}
-	oldRep, err := load(flag.Arg(0))
-	if err != nil {
-		fail(err)
+	if err := fs.Parse(args); err != nil {
+		return exitError
 	}
-	newRep, err := load(flag.Arg(1))
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return exitError
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchdiff:", strings.TrimSpace(err.Error()))
+		return exitError
+	}
+	oldRep, err := load(fs.Arg(0))
 	if err != nil {
-		fail(err)
+		return fail(err)
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		return fail(err)
 	}
 
 	type row struct {
@@ -91,12 +117,12 @@ func main() {
 		if o, ok := oldCells[key]; ok {
 			rows = append(rows, row{key, o, c.SimInstsPerSec})
 		} else {
-			fmt.Printf("%-24s new cell (no baseline)\n", key)
+			fmt.Fprintf(stdout, "%-24s new cell (no baseline)\n", key)
 		}
 	}
 	for key := range oldCells {
 		if !seen[key] {
-			fmt.Printf("%-24s retired (baseline only)\n", key)
+			fmt.Fprintf(stdout, "%-24s retired (baseline only)\n", key)
 		}
 	}
 	oldChips := map[string]float64{}
@@ -120,16 +146,12 @@ func main() {
 			mark = "  REGRESSED"
 			regressed++
 		}
-		fmt.Printf("%-24s %12.0f -> %12.0f  %+6.1f%%%s\n", r.name, r.old, r.new, delta*100, mark)
+		fmt.Fprintf(stdout, "%-24s %12.0f -> %12.0f  %+6.1f%%%s\n", r.name, r.old, r.new, delta*100, mark)
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed more than %.0f%%\n", regressed, *tol*100)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: %d cell(s) regressed more than %.0f%%\n", regressed, *tol*100)
+		return exitRegressed
 	}
-	fmt.Printf("benchdiff: %d cells compared, none regressed more than %.0f%%\n", len(rows), *tol*100)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "benchdiff:", strings.TrimSpace(err.Error()))
-	os.Exit(2)
+	fmt.Fprintf(stdout, "benchdiff: %d cells compared, none regressed more than %.0f%%\n", len(rows), *tol*100)
+	return exitClean
 }

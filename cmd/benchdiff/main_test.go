@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cellsJSON builds a minimal report with the given scheme/bench cells.
+func cellsJSON(cells map[string]float64, matrix float64, chips map[string]float64) string {
+	var b strings.Builder
+	b.WriteString(`{"schemaVersion":1,"cells":[`)
+	first := true
+	for key, v := range cells {
+		parts := strings.SplitN(key, "/", 2)
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, `{"scheme":%q,"bench":%q,"simInstsPerSec":%g}`, parts[0], parts[1], v)
+	}
+	b.WriteString(`]`)
+	if matrix > 0 {
+		fmt.Fprintf(&b, `,"matrix":{"cellsPerSec":%g}`, matrix)
+	}
+	if len(chips) > 0 {
+		b.WriteString(`,"multicore":[`)
+		first = true
+		for chip, v := range chips {
+			if !first {
+				b.WriteString(",")
+			}
+			first = false
+			fmt.Fprintf(&b, `{"chip":%q,"simInstsPerSec":%g}`, chip, v)
+		}
+		b.WriteString(`]`)
+	}
+	b.WriteString(`}`)
+	return b.String()
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTripwire drives the >tolerance regression detection table-style:
+// which deltas on which cell kinds exit 0 vs 1.
+func TestTripwire(t *testing.T) {
+	base := map[string]float64{"rar/stream": 1000, "baseline/pointer": 2000}
+	tests := []struct {
+		name         string
+		newCells     map[string]float64
+		oldM, newM   float64
+		oldCh, newCh map[string]float64
+		args         []string
+		want         int
+		wantOut      string
+	}{
+		{
+			name:     "clean-identical",
+			newCells: map[string]float64{"rar/stream": 1000, "baseline/pointer": 2000},
+			want:     exitClean,
+			wantOut:  "none regressed",
+		},
+		{
+			name:     "noise-inside-tolerance",
+			newCells: map[string]float64{"rar/stream": 905, "baseline/pointer": 2000},
+			want:     exitClean,
+		},
+		{
+			name:     "improvement-never-fails",
+			newCells: map[string]float64{"rar/stream": 5000, "baseline/pointer": 2000},
+			want:     exitClean,
+		},
+		{
+			name:     "cell-regressed-beyond-10pct",
+			newCells: map[string]float64{"rar/stream": 880, "baseline/pointer": 2000},
+			want:     exitRegressed,
+			wantOut:  "REGRESSED",
+		},
+		{
+			name:     "tight-tolerance-flags-noise",
+			newCells: map[string]float64{"rar/stream": 905, "baseline/pointer": 2000},
+			args:     []string{"-tolerance", "0.05"},
+			want:     exitRegressed,
+		},
+		{
+			name:     "loose-tolerance-accepts-drop",
+			newCells: map[string]float64{"rar/stream": 600, "baseline/pointer": 2000},
+			args:     []string{"-tolerance", "0.50"},
+			want:     exitClean,
+		},
+		{
+			name:     "matrix-cell-regression",
+			newCells: map[string]float64{"rar/stream": 1000, "baseline/pointer": 2000},
+			oldM:     100, newM: 50,
+			want:    exitRegressed,
+			wantOut: "matrix cells/s",
+		},
+		{
+			name:     "chip-cell-regression",
+			newCells: map[string]float64{"rar/stream": 1000, "baseline/pointer": 2000},
+			oldCh:    map[string]float64{"4xrar": 400}, newCh: map[string]float64{"4xrar": 200},
+			want:    exitRegressed,
+			wantOut: "chip:4xrar",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dir := t.TempDir()
+			oldPath := writeFile(t, dir, "old.json", cellsJSON(base, tt.oldM, tt.oldCh))
+			newPath := writeFile(t, dir, "new.json", cellsJSON(tt.newCells, tt.newM, tt.newCh))
+			var out, errb strings.Builder
+			code := run(append(tt.args, oldPath, newPath), &out, &errb)
+			if code != tt.want {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tt.want, out.String(), errb.String())
+			}
+			if tt.wantOut != "" && !strings.Contains(out.String(), tt.wantOut) {
+				t.Errorf("stdout lacks %q:\n%s", tt.wantOut, out.String())
+			}
+			if tt.want == exitRegressed && !strings.Contains(errb.String(), "regressed more than") {
+				t.Errorf("stderr lacks the regression summary:\n%s", errb.String())
+			}
+		})
+	}
+}
+
+// TestMissingCells pins the no-flag-day contract: cells present on only
+// one side are reported but never fail the diff.
+func TestMissingCells(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json",
+		cellsJSON(map[string]float64{"rar/stream": 1000, "rar/retired": 500}, 0, nil))
+	newPath := writeFile(t, dir, "new.json",
+		cellsJSON(map[string]float64{"rar/stream": 1000, "rar/fresh": 900}, 0, nil))
+	var out, errb strings.Builder
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != exitClean {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitClean, errb.String())
+	}
+	for _, want := range []string{"rar/fresh", "new cell (no baseline)", "rar/retired", "retired (baseline only)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestExitCodes pins the usage/load-error contract: malformed JSON,
+// empty reports, unreadable files and bad usage all exit 2 with a
+// diagnostic on stderr — never a silent pass.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFile(t, dir, "good.json", cellsJSON(map[string]float64{"rar/stream": 1000}, 0, nil))
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"no-args", nil, "usage:"},
+		{"one-arg", []string{good}, "usage:"},
+		{"bad-flag", []string{"-nosuch", good, good}, ""},
+		{"missing-file", []string{filepath.Join(dir, "absent.json"), good}, "absent.json"},
+		{"malformed-json", []string{writeFile(t, dir, "broken.json", `{"cells": [`), good}, "broken.json"},
+		{"no-cells", []string{writeFile(t, dir, "empty.json", `{"cells": []}`), good}, "no cells"},
+		{"malformed-new-side", []string{good, writeFile(t, dir, "broken2.json", `not json`)}, "broken2.json"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			if code := run(tt.args, &out, &errb); code != exitError {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitError, out.String(), errb.String())
+			}
+			if !strings.Contains(errb.String(), tt.wantErr) {
+				t.Errorf("stderr lacks %q:\n%s", tt.wantErr, errb.String())
+			}
+		})
+	}
+}

@@ -4,14 +4,18 @@
 // of every config knob the sweeps claim to vary, error-return
 // discipline, purity of the stall fast-forward's event computation
 // (//rarlint:pure), completeness of the runahead exit/flush restore set
-// (//rarlint:survives), and dimensional consistency of the metrics
-// (//rarlint:unit). Pure standard library — go/parser, go/ast,
-// go/types — with no external dependencies.
+// (//rarlint:survives), dimensional consistency of the metrics
+// (//rarlint:unit), guarded-by lock discipline (//rarlint:guardedby),
+// allocation-freedom of the hot loop (//rarlint:hot), next-event
+// coverage of every stage-written field (//rarlint:quiescent), and
+// exact agreement between the bulk-advance write set and the declared
+// n-scalable fields (//rarlint:nscaled). Pure standard library —
+// go/parser, go/ast, go/types — with no external dependencies.
 //
 // Usage:
 //
 //	rarlint ./...                 # whole module, all checks (CI mode)
-//	rarlint -checks determinism   # one check
+//	rarlint -check ffsound        # one check (-checks is an alias)
 //	rarlint -json ./...           # schema-stable JSON findings for CI
 //	rarlint -tests ./...          # load and analyze _test.go files too
 //	rarlint path/to/module        # another module root (e.g. a corpus)

@@ -13,12 +13,14 @@ type Ledger struct {
 	headBlocked [NumStructures]uint64 //rarlint:unit bitcycles
 	fullStall   [NumStructures]uint64 //rarlint:unit bitcycles
 
+	//rarlint:nscaled blocked-cycle accumulator: Advance adds n where TickBlocked adds 1
 	cumHeadBlocked uint64 //rarlint:unit cycles
-	cumFullStall   uint64 //rarlint:unit cycles
+	//rarlint:nscaled blocked-cycle accumulator: Advance adds n where TickBlocked adds 1
+	cumFullStall uint64 //rarlint:unit cycles
 
 	// Optional timeline bucketing (timeline.go).
 	windowCycles uint64
-	nowCycle     uint64
+	nowCycle     uint64 //rarlint:nscaled SetCycle lands the ledger on the post-skip cycle; intermediate values are never observed
 	windows      []uint64
 }
 

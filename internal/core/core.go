@@ -50,21 +50,22 @@ type Core struct {
 	regs   *regFile
 	pool   uopPool
 
+	//rarlint:nscaled the skip target itself: bulkAdvance jumps it to the bounded next-event cycle
 	cycle uint64 //rarlint:unit cycles
-	seq   uint64
+	seq   uint64 //rarlint:quiescent uop numbering source: advances only when stage-driven fetch creates uops
 
 	// Front-end.
 	frontQ          frontRing
 	fetchStallUntil uint64 //rarlint:unit cycles
-	wrongPath       bool
-	wpPC            uint64
+	wrongPath       bool   //rarlint:quiescent wrong-path fetch latch: only stage-driven fetch consults it
+	wpPC            uint64 //rarlint:quiescent wrong-path fetch cursor: only stage-driven fetch consults it
 	// wpScratch receives one fetch group's batch of synthesised
 	// wrong-path instructions (fetchWrongPathGroup); sized Width.
 	wpScratch []isa.Inst
 	// wpSynthetic counts synthesised wrong-path instructions still to
 	// fetch: >0 for a bounded hammock body, -1 for a non-reconvergent
 	// path, 0 while off-path means fetch reconverged onto the stream.
-	wpSynthetic int
+	wpSynthetic int //rarlint:quiescent wrong-path fetch cursor: only stage-driven fetch consults it
 
 	// Back-end.
 	rob      []*uop
@@ -80,9 +81,9 @@ type Core struct {
 	// compactIQ restores the fully compacted layout — exactly the slice a
 	// per-cycle-compacting implementation maintains — before any observer
 	// (audit, fault injection) looks at slot positions.
-	iq     []waiter
+	iq     []waiter //rarlint:quiescent queue membership only: issueability is covered via readyList, fill and FU events
 	iqLive int
-	iqTomb int
+	iqTomb int //rarlint:quiescent issue-queue compaction bookkeeping: consumed by the next stage-driven sweep
 	// readyList holds the issue candidates in seq order: every live
 	// dispatched uop whose notReady filter has hit zero. Entries are
 	// seq-guarded like waiter registrations — issued, squashed or recycled
@@ -104,7 +105,7 @@ type Core struct {
 	// and are dropped when their bucket drains, which is why none of this
 	// needs rewinding at a flush or runahead exit.
 	cwBuckets  [cwSize][]waiter
-	cwOverflow []cwEntry
+	cwOverflow []cwEntry //rarlint:quiescent completion-wheel spill: its earliest deadline is covered separately via cwOvMin
 	// cwOvMin is the earliest doneAt in cwOverflow (NoEventCycle when
 	// empty); it may go stale-low via squashed entries, which costs a
 	// redundant migration scan, never a missed completion.
@@ -118,7 +119,7 @@ type Core struct {
 	// entry is seq-guarded: uop records are pooled, so an entry only acts
 	// on the incarnation that registered it.
 	//rarlint:survives seq-guarded: entries registered in runahead are inert after the squash recycles their uops
-	waiters [][]waiter
+	waiters [][]waiter //rarlint:quiescent wakeup lists: drained by stage-driven completion, whose timing fill and FU events cover
 
 	// bpSnapArena backs the history snapshots of in-flight mispredicted
 	// branches, indexed by uop.bpSnap. Only mispredicts allocate a slot
@@ -126,23 +127,25 @@ type Core struct {
 	// the uop record. Slots recycle through bpSnapFree when the owning
 	// uop is released; a freed slot's content is dead, so neither list
 	// needs restoring at runahead exit.
-	bpSnapArena []branch.Snapshot
-	bpSnapFree  []int32
+	bpSnapArena []branch.Snapshot //rarlint:quiescent snapshot allocator arena: allocation scratch with no timing content
+	bpSnapFree  []int32           //rarlint:quiescent snapshot allocator free list: allocation scratch with no timing content
 
 	// doneScratch is completeStage's reusable completion buffer.
-	doneScratch []*uop
+	doneScratch []*uop //rarlint:quiescent per-cycle scratch buffer: dead between cycles
 	// squashScratch is the squash paths' reusable victim buffer: squashes
 	// happen on every mispredict, far too often to allocate a fresh slice.
-	squashScratch []*uop
+	squashScratch []*uop //rarlint:quiescent per-cycle scratch buffer: dead between cycles
 
-	fuPools    [numFuPools]config.FUPool
+	fuPools [numFuPools]config.FUPool
+	//rarlint:quiescent per-cycle FU issue tally: recomputed from zero each busy cycle
 	fuIssued   [numFuPools]int    // pipelined pools: ops issued this cycle
 	fuBusyTill [numFuPools]uint64 //rarlint:unit cycles -- unpipelined pools: next free cycle
 
 	storeBuf []uint64 // post-commit store addresses awaiting L1D write
 
 	// ROB-head blocking tracking.
-	headSeq   uint64
+	headSeq uint64 //rarlint:nscaled watchdog bookkeeping: refreshed to the value n blocked ticks would leave
+	//rarlint:nscaled watchdog bookkeeping: refreshed to the value n blocked ticks would leave
 	headSince uint64 //rarlint:unit cycles
 
 	// Runahead machinery.
@@ -151,12 +154,12 @@ type Core struct {
 	prdq       []*uop
 	sstT       *sst
 	prod       *producers
-	lastWriter [isa.NumRegs]uint64
-	raDiverged bool
+	lastWriter [isa.NumRegs]uint64 //rarlint:quiescent store-set training bookkeeping: consulted only during stage-driven dispatch
+	raDiverged bool                //rarlint:quiescent divergence latch: read only on stage-driven runahead paths
 	chk        checkpoint
 
 	// SST training dedup: last PC trained, to avoid rewalking hot loads.
-	lastTrainedPC uint64
+	lastTrainedPC uint64 //rarlint:quiescent trainer dedup latch: no timing content
 
 	// lastFlushSeq prevents the FLUSH scheme from re-flushing for the
 	// same blocking load every cycle.
@@ -189,14 +192,14 @@ type Core struct {
 	// heuristic with a one-sided failure mode — a missed bump just runs
 	// the probe (status quo), an over-bump costs at most one extra ticked
 	// cycle per stall window — so it can never change results.
-	progress uint64
+	progress uint64 //rarlint:quiescent watchdog progress latch: consulted by the run loop, never by skip bounds
 
 	// Stall fast-forward (ff.go): noFF disables the quiescent-cycle skip
 	// (its zero value keeps the skip on); ffSkipped counts cycles advanced
 	// in bulk. Both are diagnostics outside Stats — results are identical
 	// either way, by the equivalence contract.
 	noFF      bool
-	ffSkipped uint64
+	ffSkipped uint64 //rarlint:nscaled fast-forward telemetry: counts exactly the cycles the skip replaced
 
 	s Stats
 }
@@ -206,13 +209,19 @@ type Core struct {
 // from it) rather than clearing it; the stale copy left behind is
 // architecturally dead until the next enterRunahead overwrites it.
 type checkpoint struct {
-	rat    [isa.NumRegs]int16 //rarlint:survives consumed at exit, overwritten by the next entry
-	bpSnap branch.Snapshot    //rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:quiescent checkpoint payload: consumed at runahead exit, which modeNextEvent bounds via the mode-transition events
+	rat [isa.NumRegs]int16 //rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:quiescent checkpoint payload: consumed at runahead exit, which modeNextEvent bounds via the mode-transition events
+	bpSnap branch.Snapshot //rarlint:survives consumed at exit, overwritten by the next entry
 	//rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:quiescent checkpoint payload: consumed at runahead exit, which modeNextEvent bounds via the mode-transition events
 	resumeCursor uint64 // fetch cursor to restore on a PRE-style exit
-	wrongPath    bool   //rarlint:survives consumed at exit, overwritten by the next entry
-	wpPC         uint64 //rarlint:survives consumed at exit, overwritten by the next entry
-	wpSynthetic  int    //rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:quiescent checkpoint payload: consumed at runahead exit, which modeNextEvent bounds via the mode-transition events
+	wrongPath bool //rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:quiescent checkpoint payload: consumed at runahead exit, which modeNextEvent bounds via the mode-transition events
+	wpPC uint64 //rarlint:survives consumed at exit, overwritten by the next entry
+	//rarlint:quiescent checkpoint payload: consumed at runahead exit, which modeNextEvent bounds via the mode-transition events
+	wpSynthetic int //rarlint:survives consumed at exit, overwritten by the next entry
 }
 
 // Stats is the result of one simulation run.
@@ -221,32 +230,47 @@ type Stats struct {
 	Scheme    string
 	CoreName  string
 
-	Cycles    uint64 //rarlint:unit cycles
+	Cycles uint64 //rarlint:unit cycles
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 	Committed uint64 //rarlint:unit insts
 
-	CommittedLoads    uint64 //rarlint:unit insts
-	CommittedStores   uint64 //rarlint:unit insts
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	CommittedLoads uint64 //rarlint:unit insts
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	CommittedStores uint64 //rarlint:unit insts
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 	CommittedBranches uint64 //rarlint:unit insts
-	Mispredicts       uint64 //rarlint:unit insts
-	WrongPathFetched  uint64
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	Mispredicts      uint64 //rarlint:unit insts
+	WrongPathFetched uint64 //rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 
-	RunaheadEntries  uint64 //rarlint:survives statistics counter: runahead activity is metered, not squashed
-	RunaheadCycles   uint64 //rarlint:unit cycles
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	RunaheadEntries uint64 //rarlint:survives statistics counter: runahead activity is metered, not squashed
+	//rarlint:nscaled mode-cycle counter: scales linearly with the skipped span
+	RunaheadCycles uint64 //rarlint:unit cycles
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 	RunaheadExecuted uint64 //rarlint:unit uops -- executed in runahead mode
 	//rarlint:survives statistics counter: runahead activity is metered, not squashed
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 	RunaheadDropped uint64 //rarlint:unit uops -- filtered or INV-dropped in runahead
-	Flushes         uint64 // FLUSH-scheme pipeline flushes
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	Flushes uint64 // FLUSH-scheme pipeline flushes
 
 	// Activity counters for energy accounting: everything that consumed
 	// pipeline bandwidth, including wrong-path, runahead and re-fetched
 	// work that never (or repeatedly) committed.
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 	TotalFetched uint64 //rarlint:unit uops
 	//rarlint:survives statistics counter: energy accounting meters runahead dispatches by design
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 	TotalDispatched uint64 //rarlint:unit uops
-	TotalIssued     uint64 //rarlint:unit uops
+	//rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	TotalIssued uint64 //rarlint:unit uops
 
+	//rarlint:nscaled blocked-cycle counter: advances by n, matching n per-cycle ticks
 	HeadBlockedCycles uint64 //rarlint:unit cycles
-	FullStallCycles   uint64 //rarlint:unit cycles
+	//rarlint:nscaled blocked-cycle counter: advances by n, matching n per-cycle ticks
+	FullStallCycles uint64 //rarlint:unit cycles
 
 	// CommitHash is an FNV-1a hash over the committed instruction
 	// sequence (PC and class, in commit order) for the whole run,
@@ -254,7 +278,7 @@ type Stats struct {
 	// stream — speculation of any kind never changes architectural
 	// execution — so the hash must agree across schemes for the same
 	// (benchmark, seed, instruction count).
-	CommitHash uint64
+	CommitHash uint64 //rarlint:quiescent commit-order digest: accumulated at commit, consulted only by the A/B equivalence check
 
 	ABC            [ace.NumStructures]uint64 //rarlint:unit bitcycles
 	TotalABC       uint64                    //rarlint:unit bitcycles

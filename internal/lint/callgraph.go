@@ -80,6 +80,45 @@ func (fi *funcIndex) callees(info *funcInfo) []*funcInfo {
 	return out
 }
 
+// referencedFuncs returns, in source order, every module function the body
+// of info's function can transfer control to: direct static callees plus
+// functions and methods referenced as *values* — a method value stored in
+// a variable or passed as an argument escapes the static call graph, so a
+// conservative closure must assume it runs. The two sets overlap on plain
+// calls; the result is deduplicated.
+func (fi *funcIndex) referencedFuncs(info *funcInfo) []*funcInfo {
+	var out []*funcInfo
+	seen := map[*funcInfo]bool{}
+	add := func(fn *types.Func) {
+		if callee := fi.lookup(fn); callee != nil && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+	}
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			add(calleeFunc(info.pkg, n))
+		case *ast.SelectorExpr:
+			// Method values: x.M used as a value (the call case above
+			// resolves x.M() too; dedup makes the overlap harmless).
+			if s := info.pkg.Info.Selections[n]; s != nil && s.Kind() == types.MethodVal {
+				if fn, ok := s.Obj().(*types.Func); ok {
+					add(fn)
+				}
+			} else if fn, ok := info.pkg.Info.Uses[n.Sel].(*types.Func); ok {
+				add(fn)
+			}
+		case *ast.Ident:
+			if fn, ok := info.pkg.Info.Uses[n].(*types.Func); ok {
+				add(fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
 // funcName renders a function's name for diagnostics: "Type.Method" for
 // methods, plain name otherwise, qualified with the package name when it
 // is not the one the diagnostic is reported from.

@@ -27,11 +27,12 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rarlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	check := fs.String("check", "", "alias for -checks")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout (GitHub code scanning)")
 	withTests := fs.Bool("tests", false, "include _test.go files (determinism and errdiscipline cover them)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rarlint [-checks list] [-json | -sarif] [-tests] [module-dir | ./...]\n\n"+
+		fmt.Fprintf(stderr, "usage: rarlint [-check list] [-json | -sarif] [-tests] [module-dir | ./...]\n\n"+
 			"Static analysis of a Go module's simulator contracts. Checks:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
@@ -79,9 +80,14 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitError
 	}
 
+	// -check and -checks are spellings of the same filter; merging them
+	// keeps both the documented singular and the historical plural alive
+	// (and `-check a -checks b` just runs both).
 	var names []string
-	if *checks != "" {
-		names = strings.Split(*checks, ",")
+	for _, list := range []string{*checks, *check} {
+		if list != "" {
+			names = append(names, strings.Split(list, ",")...)
+		}
 	}
 	diags, err := Run(mod, names)
 	if err != nil {

@@ -26,7 +26,6 @@ package lint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/types"
 	"sort"
 )
@@ -58,85 +57,32 @@ func flushReset(m *Module) []Diagnostic {
 	fi := buildFuncIndex(m)
 
 	// Seeds, in deterministic source order.
-	var writers, resets []*funcInfo
-	seedPkgs := map[*Package]bool{}
-	for _, p := range m.Pkgs {
-		for _, f := range p.Files {
-			if m.isTestFile(f) {
-				continue
-			}
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				w, r := runaheadWriterNames[fd.Name.Name], resetFuncNames[fd.Name.Name]
-				if !w && !r {
-					continue
-				}
-				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
-				info := fi.lookup(fn)
-				if info == nil {
-					continue
-				}
-				seedPkgs[p] = true
-				if w {
-					writers = append(writers, info)
-				}
-				if r {
-					resets = append(resets, info)
-				}
-			}
-		}
-	}
+	writers, writerPkgs := seedFuncs(m, fi, runaheadWriterNames)
+	resets, resetPkgs := seedFuncs(m, fi, resetFuncNames)
 	if len(writers) == 0 || len(resets) == 0 {
 		return nil // not a runahead module: nothing to diff
 	}
-
-	// Audited fields: every field of every named struct declared in a
-	// package holding a seed function, in declaration order.
-	audited := map[*types.Var]bool{}
-	owner := map[*types.Var]string{}
-	var fields []*types.Var
-	for _, p := range m.Pkgs {
-		if !seedPkgs[p] {
-			continue
-		}
-		scope := p.Types.Scope()
-		for _, name := range scope.Names() {
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() || m.isTestPos(tn.Pos()) {
-				continue
-			}
-			st, ok := tn.Type().Underlying().(*types.Struct)
-			if !ok {
-				continue
-			}
-			for i := 0; i < st.NumFields(); i++ {
-				fv := st.Field(i)
-				audited[fv] = true
-				fields = append(fields, fv)
-				owner[fv] = p.Types.Name() + "." + name
-			}
-		}
+	seedPkgs := writerPkgs
+	for p := range resetPkgs {
+		seedPkgs[p] = true
 	}
 
-	written := closureWrites(fi, writers, audited)
-	restored := closureWrites(fi, resets, audited)
+	// Audited fields: every field of every named struct declared in a
+	// package holding a seed function, in file/line order so a directive
+	// trailing one field is claimed by it and never mistaken for a
+	// standalone directive above the next.
+	fields, owner := auditedFields(m, seedPkgs)
 
-	// Fields in file/line order, so a directive trailing one field is
-	// claimed by it and never mistaken for a standalone directive above
-	// the next (multi-name declarations on one line share a directive).
-	sort.Slice(fields, func(i, j int) bool {
-		pi, pj := m.Fset.Position(fields[i].Pos()), m.Fset.Position(fields[j].Pos())
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		return pi.Offset < pj.Offset
-	})
+	fe := newFlowEngine(fi)
+	written := fe.writeClosure(writers)
+	restored := fe.writeClosure(resets)
+
+	// A survives directive trails its field or sits up to two lines above
+	// it, so it can stack with a quiescent/nscaled/unit directive already
+	// annotating the same declaration.
 	attached := map[*survives]int{}
 	claim := func(filename string, fieldLine int) *survives {
-		for _, l := range []int{fieldLine, fieldLine - 1} {
+		for _, l := range []int{fieldLine, fieldLine - 1, fieldLine - 2} {
 			for _, sv := range m.survives[filename][l] {
 				if sv.reason == "" {
 					continue // malformed, already a lint finding
@@ -155,7 +101,7 @@ func flushReset(m *Module) []Diagnostic {
 	for _, fv := range fields {
 		pos := m.Fset.Position(fv.Pos())
 		sv := claim(pos.Filename, pos.Line)
-		byFn, leaks := written[fv]
+		site, leaks := written[fv]
 		if _, ok := restored[fv]; ok {
 			leaks = false
 		}
@@ -165,7 +111,7 @@ func flushReset(m *Module) []Diagnostic {
 		case leaks:
 			diags = append(diags, Diagnostic{Pos: pos, Check: "flushreset",
 				Message: fmt.Sprintf("field %s.%s is written on runahead paths (by %s) but not restored by any exit/flush function: runahead residue would survive exit — restore it or annotate //rarlint:survives <reason>",
-					owner[fv], fv.Name(), byFn)})
+					owner[fv], fv.Name(), site.fn)})
 		case sv != nil:
 			diags = append(diags, Diagnostic{Pos: pos, Check: "flushreset",
 				Message: fmt.Sprintf("stale rarlint:survives on %s.%s: the field is restored at runahead exit (or never written on runahead paths); remove the annotation",
@@ -178,85 +124,9 @@ func flushReset(m *Module) []Diagnostic {
 	return diags
 }
 
-// closureWrites returns the audited fields written anywhere in the
-// closures of the seed functions, each mapped to the name of the first
-// function observed writing it (for the diagnostic).
-func closureWrites(fi *funcIndex, seeds []*funcInfo, audited map[*types.Var]bool) map[*types.Var]string {
-	writes := map[*types.Var]string{}
-	visited := map[*funcInfo]bool{}
-	var visit func(info *funcInfo)
-	visit = func(info *funcInfo) {
-		if visited[info] {
-			return
-		}
-		visited[info] = true
-		name := funcName(nil, info.fn)
-		record := func(fv *types.Var) {
-			if audited[fv] {
-				if _, ok := writes[fv]; !ok {
-					writes[fv] = name
-				}
-			}
-		}
-		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range n.Lhs {
-					for _, fv := range writtenFields(info.pkg, audited, lhs) {
-						record(fv)
-					}
-				}
-			case *ast.IncDecStmt:
-				for _, fv := range writtenFields(info.pkg, audited, n.X) {
-					record(fv)
-				}
-			}
-			return true
-		})
-		for _, callee := range fi.callees(info) {
-			visit(callee)
-		}
-	}
-	for _, seed := range seeds {
-		visit(seed)
-	}
-	return writes
-}
-
-// writtenFields resolves an assignment target to the audited fields it
-// writes: the leaf field of the selector chain, expanded to all audited
-// fields of a struct when the write replaces a whole struct value.
-func writtenFields(p *Package, audited map[*types.Var]bool, lhs ast.Expr) []*types.Var {
-	for {
-		switch e := ast.Unparen(lhs).(type) {
-		case *ast.IndexExpr:
-			lhs = e.X // element write reaches the container field
-		case *ast.StarExpr:
-			// *ptr = v replaces the whole pointee.
-			if tv, ok := p.Info.Types[e.X]; ok {
-				if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
-					return structFields(ptr.Elem(), audited, nil)
-				}
-			}
-			return nil
-		case *ast.SelectorExpr:
-			s := p.Info.Selections[e]
-			if s == nil || s.Kind() != types.FieldVal {
-				return nil
-			}
-			fv, ok := s.Obj().(*types.Var)
-			if !ok {
-				return nil
-			}
-			return structFields(fv.Type(), audited, []*types.Var{fv})
-		default:
-			return nil
-		}
-	}
-}
-
 // structFields appends every audited field of t (recursively, through
-// struct and pointer-to-struct types) to out.
+// struct and pointer-to-struct types) to out. A nil audited map means
+// every field is in scope.
 func structFields(t types.Type, audited map[*types.Var]bool, out []*types.Var) []*types.Var {
 	var walk func(t types.Type)
 	seen := map[types.Type]bool{}
@@ -274,7 +144,7 @@ func structFields(t types.Type, audited map[*types.Var]bool, out []*types.Var) [
 		}
 		for i := 0; i < st.NumFields(); i++ {
 			fv := st.Field(i)
-			if !audited[fv] {
+			if audited != nil && !audited[fv] {
 				continue
 			}
 			out = append(out, fv)

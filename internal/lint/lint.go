@@ -7,8 +7,11 @@
 // fast-forward's event computation and the report read paths,
 // completeness of the runahead exit/flush restore set (the paper's
 // un-ACE argument), dimensional consistency of the metric pipeline,
-// guarded-by lock discipline of the concurrent engine front-end, and
-// allocation-freedom of the per-cycle hot loop.
+// guarded-by lock discipline of the concurrent engine front-end,
+// allocation-freedom of the per-cycle hot loop, next-event coverage of
+// every stage-written field (the fast-forward quiescence contract), and
+// exact agreement between the bulk-advance write set and the declared
+// n-scalable fields.
 //
 // The analyses are whole-module: rarlint loads and type-checks every
 // package of the module with go/parser and go/types (standard library
@@ -24,6 +27,10 @@
 //	//rarlint:guardedby <mu|atomic|init> declare a field's synchronization story
 //	//rarlint:locked <mu>                a method called only with mu held
 //	//rarlint:hot                        root the zero-alloc hot-loop closure
+//	//rarlint:quiescent <reason>         waive next-event coverage for one
+//	                                     stage-written field
+//	//rarlint:nscaled <reason>           declare a field part of the
+//	                                     bulk-advance write set
 //
 // each attached to the governed line or the line directly above it.
 // Malformed and stale directives are themselves findings. rarlint
@@ -37,6 +44,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding.
@@ -112,6 +120,16 @@ func Analyzers() []*Analyzer {
 			Doc:  "allocation-freedom of every function reachable from //rarlint:hot roots (the zero-alloc per-cycle loop contract)",
 			Run:  hotalloc,
 		},
+		{
+			Name: "ffsound",
+			Doc:  "next-event coverage of every stage-written field (the fast-forward quiescence contract)",
+			Run:  ffSound,
+		},
+		{
+			Name: "skipset",
+			Doc:  "exact agreement between the bulk-advance write set, the per-cycle blocked path, and the declared //rarlint:nscaled fields",
+			Run:  skipSet,
+		},
 	}
 }
 
@@ -140,13 +158,33 @@ func Run(m *Module, checks []string) ([]Diagnostic, error) {
 		enabled[c] = true
 	}
 
+	// The analyzers are independent and run concurrently: each consumes
+	// the shared read-only typed ASTs (token.FileSet is internally
+	// synchronized) and each mutable directive kind is claimed by exactly
+	// one analyzer (pures by purity, survives by flushreset, quiescents
+	// by ffsound, nscaleds by skipset, units by units, guardeds/lockeds
+	// by lockcheck, hots and allow-barriers by hotalloc). Suppression and
+	// staleness accounting stay sequential, after the barrier. Findings
+	// are collected per-analyzer and ordering is restored by the final
+	// position sort, so the output is deterministic regardless of
+	// scheduling.
 	all := Analyzers()
-	var diags []Diagnostic
-	for _, a := range all {
+	results := make([][]Diagnostic, len(all))
+	var wg sync.WaitGroup
+	for i, a := range all {
 		if len(enabled) > 0 && !enabled[a.Name] {
 			continue
 		}
-		diags = append(diags, a.Run(m)...)
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			results[i] = a.Run(m)
+		}(i, a)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
 	}
 	diags = append(diags, m.checkDirectives()...)
 	diags = m.suppress(diags)

@@ -1,0 +1,120 @@
+package lint
+
+// The skipset analyzer pins the bulk-advance write set. Fast-forwarding
+// replaces N iterations of the blocked-cycle path (tickBlocked plus the
+// loop bookkeeping) with one n-scaled bulk update, and the byte-identical
+// contract demands the two paths touch exactly the same state: a stat
+// counter added to the per-cycle path but forgotten in bulkAdvance is a
+// silent divergence that today only surfaces if an A/B matrix happens to
+// exercise it. The analyzer computes, over the static call graph,
+//
+//	B = fields written by the bulk-advance closures
+//	    (SkipTo/skipStall/bulkAdvance at core level, skipQuietGap at
+//	    chip level, following helpers like the ledger's Advance),
+//	T = fields written by the per-cycle blocked path (tickBlocked),
+//
+// and checks both against the *declared* n-scalable set: every field
+// carrying //rarlint:nscaled <reason> on its declaration. Three ways to
+// be wrong, each a finding at the field's declaration:
+//
+//   - a field in B without an nscaled declaration (the bulk path writes
+//     state nobody vouched scales linearly),
+//   - an nscaled declaration on a field outside B (the declaration rot:
+//     the bulk path no longer maintains it),
+//   - a field in T but not in B (the forgotten-counter divergence: the
+//     per-cycle path advances it, the skip path does not).
+//
+// Like survives and quiescent, stale or unattached nscaled directives
+// are findings in their own right and cannot be suppressed.
+
+import (
+	"fmt"
+)
+
+// skipBulkNames seed the bulk-advance write set B.
+var skipBulkNames = map[string]bool{
+	"SkipTo":       true,
+	"skipStall":    true,
+	"bulkAdvance":  true,
+	"skipQuietGap": true,
+}
+
+// skipTickNames seed the per-cycle blocked-path write set T.
+var skipTickNames = map[string]bool{
+	"tickBlocked": true,
+}
+
+func skipSet(m *Module) []Diagnostic {
+	fi := buildFuncIndex(m)
+	bulks, bulkPkgs := seedFuncs(m, fi, skipBulkNames)
+	ticks, tickPkgs := seedFuncs(m, fi, skipTickNames)
+	if len(bulks) == 0 {
+		return nil // no bulk-advance path: nothing to pin
+	}
+
+	fe := newFlowEngine(fi)
+	bulkW, _, bulkFuncs := fe.closure(bulks)
+	tickW := flowSet{}
+	if len(ticks) > 0 {
+		tickW = fe.writeClosure(ticks)
+	}
+
+	// Audited packages: wherever the bulk or per-cycle closures live or
+	// reach (core, chip, and the ACE ledger they both advance).
+	pkgs := bulkPkgs
+	for p := range tickPkgs {
+		pkgs[p] = true
+	}
+	for _, info := range bulkFuncs {
+		pkgs[info.pkg] = true
+	}
+	fields, owner := auditedFields(m, pkgs)
+
+	// nscaled claims like quiescent: trailing, or up to two lines above,
+	// so it stacks with unit/survives directives on the same field.
+	attached := map[*nscaled]int{}
+	claim := func(filename string, fieldLine int) *nscaled {
+		for _, l := range []int{fieldLine, fieldLine - 1, fieldLine - 2} {
+			for _, d := range m.nscaleds[filename][l] {
+				if d.reason == "" {
+					continue // malformed, already a lint finding
+				}
+				if at, ok := attached[d]; ok && at != fieldLine {
+					continue
+				}
+				attached[d] = fieldLine
+				return d
+			}
+		}
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, fv := range fields {
+		pos := m.Fset.Position(fv.Pos())
+		d := claim(pos.Filename, pos.Line)
+		bulkSite, inBulk := bulkW[fv]
+		tickSite, inTick := tickW[fv]
+		switch {
+		case inBulk && d != nil:
+			d.used = true
+		case inBulk:
+			diags = append(diags, Diagnostic{Pos: pos, Check: "skipset",
+				Message: fmt.Sprintf("field %s.%s is written by the bulk-advance closure (by %s) but not declared n-scalable: annotate //rarlint:nscaled <reason> or stop writing it on the skip path",
+					owner[fv], fv.Name(), bulkSite.fn)})
+		case d != nil:
+			diags = append(diags, Diagnostic{Pos: pos, Check: "skipset",
+				Message: fmt.Sprintf("stale rarlint:nscaled on %s.%s: the bulk-advance closure does not write the field; remove the annotation",
+					owner[fv], fv.Name())})
+		}
+		if inTick && !inBulk {
+			diags = append(diags, Diagnostic{Pos: pos, Check: "skipset",
+				Message: fmt.Sprintf("field %s.%s is written by the per-cycle blocked path (by %s) but not by the bulk-advance closure: skipping a stall would silently diverge from ticking through it",
+					owner[fv], fv.Name(), tickSite.fn)})
+		}
+	}
+
+	diags = append(diags, unattachedDirectives(m, verbNscaled, "skipset", m.nscaleds,
+		func(d *nscaled) bool { _, ok := attached[d]; return ok || d.reason == "" })...)
+	return diags
+}

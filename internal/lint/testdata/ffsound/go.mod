@@ -1,0 +1,3 @@
+module ffsoundcorpus
+
+go 1.24

@@ -1,0 +1,3 @@
+module fieldflowcorpus
+
+go 1.24

@@ -1,0 +1,3 @@
+module skipsetcorpus
+
+go 1.24

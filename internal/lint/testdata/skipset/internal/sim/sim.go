@@ -1,0 +1,50 @@
+// Package sim exercises the skipset analyzer: the bulk-advance write
+// set must exactly equal the declared //rarlint:nscaled set, and the
+// per-cycle blocked path may touch nothing the bulk path does not — a
+// counter added to the tick but forgotten in bulkAdvance is the silent
+// byte-divergence the check exists to catch.
+package sim
+
+type machine struct {
+	// cycle is bulk-written and declared: clean.
+	cycle uint64 //rarlint:nscaled the skip target itself: bulkAdvance jumps it to the bound
+	// stalls is advanced by both paths and declared: clean.
+	stalls uint64 //rarlint:nscaled blocked-cycle counter: advances by n, matching n ticks
+	// ffSkipped is bulk-written but never declared n-scalable.
+	ffSkipped uint64 //lintwant skipset
+	// retired is advanced per-cycle but forgotten in bulkAdvance: the
+	// silent-divergence case.
+	retired uint64 //lintwant skipset
+	// drift is declared but the bulk path no longer writes it: stale.
+	//lintwant skipset
+	drift uint64 //rarlint:nscaled wrongly declared: bulkAdvance does not write this field
+	// deep is bulk-written through a helper, undeclared.
+	deep uint64 //lintwant skipset
+	// bad is bulk-written and its declaration has no reason: the
+	// malformed directive is a lint finding and declares nothing, so the
+	// field's own finding stands too.
+	//lintwant lint
+	//rarlint:nscaled
+	bad uint64 //lintwant skipset
+}
+
+func (m *machine) tickBlocked() {
+	m.stalls++
+	m.retired++
+}
+
+func (m *machine) bulkAdvance(n uint64) {
+	m.cycle += n
+	m.stalls += n
+	m.ffSkipped += n
+	m.bad += n
+	m.bury(n)
+}
+
+func (m *machine) bury(n uint64) { m.deep += n }
+
+func (m *machine) skipTo(target uint64) {
+	//lintwant skipset
+	//rarlint:nscaled floating declaration attached to no audited field
+	m.bulkAdvance(target - m.cycle)
+}

@@ -21,11 +21,13 @@ const lineShift = 6
 func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
 
 type cacheLine struct {
-	tag     uint64
+	tag uint64 //rarlint:quiescent memory-side state: advances only on stage-driven accesses; the stall-ending fill is covered by NextFillAt
+	//rarlint:quiescent memory-side state: advances only on stage-driven accesses; the stall-ending fill is covered by NextFillAt
 	readyAt uint64 // cycle the fill completes; 0 for lines present "forever"
+	//rarlint:quiescent memory-side state: advances only on stage-driven accesses; the stall-ending fill is covered by NextFillAt
 	lastUse uint64 // LRU timestamp
-	valid   bool
-	dirty   bool
+	valid   bool   //rarlint:quiescent memory-side state: advances only on stage-driven accesses; the stall-ending fill is covered by NextFillAt
+	dirty   bool   //rarlint:quiescent memory-side state: advances only on stage-driven accesses; the stall-ending fill is covered by NextFillAt
 }
 
 // Cache is one set-associative, write-back, write-allocate cache level.
@@ -37,8 +39,8 @@ type Cache struct {
 	lines   []cacheLine // sets*ways, way-major within a set
 
 	// stats
-	accesses uint64
-	misses   uint64
+	accesses uint64 //rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	misses   uint64 //rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 }
 
 // NewCache builds a cache of sizeBytes with the given associativity and

@@ -9,10 +9,10 @@ type MSHRs struct {
 	entries []mshrEntry
 	size    int
 
-	allocs uint64
-	merges uint64
-	full   uint64
-	peak   int
+	allocs uint64 //rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	merges uint64 //rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
+	full   uint64 //rarlint:quiescent back-pressure flag: recomputed on each stage-driven access
+	peak   int    //rarlint:quiescent stat counter: aggregated into the report after the run, never consulted by timing decisions
 }
 
 type mshrEntry struct {

@@ -34,7 +34,8 @@ type System struct {
 	cores  []*core.Core
 	hiers  []*mem.Hierarchy
 	shared *mem.SharedLLC
-	chip   uint64 // chip cycle
+	//rarlint:nscaled the chip clock is the skip target: skipQuietGap jumps it to the earliest core event
+	chip uint64 // chip cycle
 
 	// noFF disables the chip-level epoch fast-forward, forcing the classic
 	// cycle-by-cycle lockstep loop — the multicore face of the core's
